@@ -1,0 +1,66 @@
+"""repro — XML-to-relational shredding advisor.
+
+A faithful reproduction of *"Storing XML (with XSD) in SQL Databases:
+Interplay of Logical and Physical Designs"* (Chaudhuri, Chen, Shim, Wu;
+ICDE 2004 / IEEE TKDE 17(12), 2005), including every substrate the paper
+depends on: an XML/XSD/XPath stack, a relational engine with a
+cost-based optimizer, an index/materialized-view tuning advisor, the
+schema-transformation space, the sorted outer-union query translator,
+and the three design-search algorithms the paper evaluates.
+
+Quickstart::
+
+    from repro import (parse_dtd, GreedySearch, Workload,
+                       collect_statistics, hybrid_inlining)
+
+    tree = parse_dtd(my_dtd_text, root="catalog")
+    stats = collect_statistics(tree, my_documents)
+    workload = Workload.from_strings("w", ['//item[price >= "10"]/name'])
+    result = GreedySearch(tree, workload, stats).run()
+    print(result.describe())
+
+See ``examples/`` for runnable end-to-end scenarios and DESIGN.md for
+the system inventory.
+"""
+
+from .engine import (Column, Database, ExecutionResult, Index,
+                     JoinViewDefinition, SQLType, Table)
+from .errors import ReproError
+from .mapping import (Mapping, Shredder, UnionDistribution,
+                      collect_statistics, derive_schema, derive_table_stats,
+                      enumerate_transformations, fully_split,
+                      hybrid_inlining, load_documents, shared_inlining)
+from .physdesign import Configuration, IndexTuningAdvisor, materialize
+from .search import (DesignResult, GreedySearch, NaiveGreedySearch,
+                     TwoStepSearch)
+from .sqlast import parse_sql, render
+from .translate import Translator, translate_xpath
+from .workload import Workload, WorkloadGenerator
+from .xmlkit import Document, Element, parse as parse_xml, serialize
+from .xpath import evaluate as evaluate_xpath, parse_xpath
+from .xsd import (BaseType, SchemaTree, TreeBuilder, parse_dtd, parse_xsd,
+                  validate)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # xml / xsd / xpath
+    "Document", "Element", "parse_xml", "serialize",
+    "SchemaTree", "TreeBuilder", "BaseType", "parse_xsd", "parse_dtd",
+    "validate", "parse_xpath", "evaluate_xpath",
+    # engine / sql
+    "Database", "Table", "Column", "Index", "SQLType",
+    "JoinViewDefinition", "ExecutionResult", "parse_sql", "render",
+    # mapping
+    "Mapping", "UnionDistribution", "derive_schema", "hybrid_inlining",
+    "shared_inlining", "fully_split", "Shredder", "load_documents",
+    "collect_statistics", "derive_table_stats", "enumerate_transformations",
+    # physical design
+    "IndexTuningAdvisor", "Configuration", "materialize",
+    # translation / workloads / search
+    "Translator", "translate_xpath", "Workload", "WorkloadGenerator",
+    "GreedySearch", "NaiveGreedySearch", "TwoStepSearch", "DesignResult",
+    # errors
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,320 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``validate``   check XML documents against an XSD/DTD schema
+``shred``      shred XML into relational tables (optionally dump CSV)
+``query``      run an XPath query through translate + execute
+``advise``     run the design search on a workload file
+``experiment`` run one of the paper's experiments at a chosen scale
+
+Workload files for ``advise`` contain one entry per line::
+
+    # comments and blank lines are skipped
+    //inproceedings[booktitle = "VLDB"]/(title | author)
+    3.5 | //inproceedings[year >= "1995"]/title      # weighted query
+    insert 0.5 | //inproceedings                      # insert load
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+
+from .engine import Database
+from .errors import ReproError
+from .mapping import (derive_schema, fully_split, hybrid_inlining,
+                      load_documents, shared_inlining, collect_statistics)
+from .search import GreedySearch, NaiveGreedySearch, TwoStepSearch
+from .sqlast import render
+from .translate import translate_xpath
+from .workload import Workload
+from .xmlkit import parse_file
+from .xsd import SchemaTree, parse_dtd, parse_xsd_file, validate
+
+MAPPINGS = {
+    "hybrid": hybrid_inlining,
+    "shared": shared_inlining,
+    "fully-split": fully_split,
+}
+
+ALGORITHMS = {
+    "greedy": GreedySearch,
+    "naive-greedy": NaiveGreedySearch,
+    "two-step": TwoStepSearch,
+}
+
+
+def _load_schema(args) -> SchemaTree:
+    if args.schema:
+        return parse_xsd_file(args.schema)
+    if args.dtd:
+        if not args.root:
+            raise SystemExit("--dtd requires --root <element>")
+        with open(args.dtd, encoding="utf-8") as handle:
+            return parse_dtd(handle.read(), root=args.root)
+    raise SystemExit("provide --schema <file.xsd> or --dtd <file.dtd>")
+
+
+def _schema_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--schema", help="XSD schema file")
+    parser.add_argument("--dtd", help="DTD file (requires --root)")
+    parser.add_argument("--root", help="root element name for --dtd")
+    parser.add_argument("--xml", required=True, nargs="+",
+                        help="XML document file(s)")
+
+
+def _mapping_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--mapping", choices=sorted(MAPPINGS),
+                        default="hybrid",
+                        help="logical mapping preset (default: hybrid)")
+
+
+def _load_and_shred(args, out=None):
+    tree = _load_schema(args)
+    docs = [parse_file(path) for path in args.xml]
+    for doc in docs:
+        validate(doc, tree)
+    mapping = MAPPINGS[args.mapping](tree)
+    schema = derive_schema(mapping)
+    db = Database()
+    load_documents(db, schema, docs)
+    return tree, docs, schema, db
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+
+
+def cmd_validate(args, out=None) -> int:
+    out = out or sys.stdout
+    tree = _load_schema(args)
+    failures = 0
+    for path in args.xml:
+        try:
+            validate(parse_file(path), tree)
+            print(f"{path}: OK", file=out)
+        except ReproError as exc:
+            failures += 1
+            print(f"{path}: INVALID — {exc}", file=out)
+    return 1 if failures else 0
+
+
+def cmd_shred(args, out=None) -> int:
+    out = out or sys.stdout
+    tree, docs, schema, db = _load_and_shred(args, out)
+    print("relational schema:", file=out)
+    print(schema.describe(), file=out)
+    print(file=out)
+    for name in sorted(db.catalog.tables):
+        table = db.catalog.table(name)
+        print(f"{name}: {table.row_count} rows "
+              f"({table.size_bytes / 1024:.1f} KB)", file=out)
+    if args.out:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for name, table in db.catalog.tables.items():
+            with open(out_dir / f"{name}.csv", "w", newline="",
+                      encoding="utf-8") as handle:
+                writer = csv.writer(handle)
+                writer.writerow(table.column_names())
+                writer.writerows(table.rows or [])
+        print(f"\nwrote CSV files to {out_dir}/", file=out)
+    return 0
+
+
+def cmd_query(args, out=None) -> int:
+    out = out or sys.stdout
+    tree, docs, schema, db = _load_and_shred(args, out)
+    sql = translate_xpath(schema, args.xpath)
+    print("SQL:", file=out)
+    print(render(sql, indent="  "), file=out)
+    if args.explain:
+        print("\nplan:", file=out)
+        print(db.explain(sql).explain(), file=out)
+    result = db.execute(sql)
+    print(f"\n{len(result.rows)} rows (cost {result.cost:.2f}):", file=out)
+    limit = args.limit if args.limit > 0 else len(result.rows)
+    for row in result.rows[:limit]:
+        print("  " + "\t".join("NULL" if v is None else str(v)
+                               for v in row), file=out)
+    if len(result.rows) > limit:
+        print(f"  ... {len(result.rows) - limit} more", file=out)
+    return 0
+
+
+def parse_workload_file(path: str, name: str = "workload") -> Workload:
+    """Parse the advise command's workload file format."""
+    workload = Workload(name)
+    with open(path, encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            weight = 1.0
+            is_update = False
+            if line.lower().startswith("insert "):
+                is_update = True
+                line = line[len("insert "):].strip()
+            if "|" in line:
+                head, rest = line.split("|", 1)
+                try:
+                    weight = float(head.strip())
+                    line = rest.strip()
+                except ValueError:
+                    pass  # the '|' belongs to a projection group
+            if is_update:
+                workload.add_update(line, weight)
+            else:
+                workload.add(line, weight)
+    if not workload.queries:
+        raise SystemExit(f"workload file {path!r} contains no queries")
+    return workload
+
+
+def cmd_advise(args, out=None) -> int:
+    out = out or sys.stdout
+    tree = _load_schema(args)
+    docs = [parse_file(path) for path in args.xml]
+    for doc in docs:
+        validate(doc, tree)
+    stats = collect_statistics(tree, docs)
+    workload = parse_workload_file(args.workload)
+    storage_bound = (args.storage_bound_mb * 1024 * 1024
+                     if args.storage_bound_mb else None)
+    search_cls = ALGORITHMS[args.algorithm]
+    search = search_cls(tree, workload, stats, storage_bound=storage_bound)
+    result = search.run()
+    print(result.describe(), file=out)
+    counters = result.counters
+    print(f"\nsearch: {counters.transformations_searched} transformations, "
+          f"{counters.tuner_calls} tuner calls, "
+          f"{counters.wall_time:.1f}s", file=out)
+    if args.measure:
+        from .experiments import measure_workload, realize
+        db = realize(result.schema, result.configuration, docs[0]
+                     if len(docs) == 1 else docs, use_cache=False)
+        measured = measure_workload(db, result.sql_queries)
+        print(f"measured workload cost on loaded data: {measured:.1f}",
+              file=out)
+    return 0
+
+
+def cmd_experiment(args, out=None) -> int:
+    out = out or sys.stdout
+    from .experiments import (DatasetBundle, TABLE1_HEADERS, characterize,
+                              format_table, run_motivating_example)
+    if args.name == "all":
+        for name in ("table1", "e0", "split-count", "comparison"):
+            sub = argparse.Namespace(name=name, scale=args.scale)
+            cmd_experiment(sub, out)
+            print(file=out)
+        return 0
+    if args.name == "split-count":
+        from .experiments import run_split_count_sweep
+        sweep = run_split_count_sweep(DatasetBundle.dblp(scale=args.scale))
+        print(format_table(
+            "Section 4.6 — repetition-split count sweep (DBLP)",
+            ["k", "measured cost", "data size", ""], sweep.rows(),
+            note=f"suggested k = {sweep.suggested_k}; "
+                 f"best k = {sweep.best_k()}"), file=out)
+        return 0
+    if args.name == "comparison":
+        from .experiments import compare_algorithms
+        bundle = DatasetBundle.dblp(scale=args.scale)
+        workloads = [bundle.workload_generator(seed=41).generate(8),
+                     bundle.workload_generator(seed=42).generate(
+                         8, selectivity=(0.5, 1.0), projections=(5, 20))]
+        comparison = compare_algorithms(
+            bundle, workloads, algorithms=("greedy", "two-step"))
+        print(comparison.fig4(), file=out)
+        print(comparison.fig5(), file=out)
+        return 0
+    if args.name == "e0":
+        result = run_motivating_example(scale=args.scale)
+        print(format_table(
+            "E0 (Section 1.1) — SIGMOD query under both mappings",
+            ["mapping", "untuned", "tuned"], result.rows(),
+            note=f"tuned speed-up {result.tuned_speedup:.1f}x; untuned "
+                 f"ordering reverses: {result.ordering_reverses_untuned}"),
+            file=out)
+    elif args.name == "table1":
+        rows = [characterize(DatasetBundle.dblp(scale=args.scale)),
+                characterize(DatasetBundle.movie(scale=args.scale))]
+        print(format_table("Table 1 — data set characteristics",
+                           TABLE1_HEADERS, [r.row() for r in rows]),
+              file=out)
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown experiment {args.name!r}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XML-to-relational shredding advisor "
+                    "(Chaudhuri et al., ICDE 2004)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_validate = sub.add_parser("validate",
+                                help="validate XML against a schema")
+    _schema_arguments(p_validate)
+    p_validate.set_defaults(func=cmd_validate)
+
+    p_shred = sub.add_parser("shred", help="shred XML into tables")
+    _schema_arguments(p_shred)
+    _mapping_argument(p_shred)
+    p_shred.add_argument("--out", help="directory for CSV dumps")
+    p_shred.set_defaults(func=cmd_shred)
+
+    p_query = sub.add_parser("query", help="run an XPath query")
+    _schema_arguments(p_query)
+    _mapping_argument(p_query)
+    p_query.add_argument("--xpath", required=True)
+    p_query.add_argument("--explain", action="store_true",
+                         help="print the physical plan")
+    p_query.add_argument("--limit", type=int, default=20,
+                         help="max rows to print (0 = all)")
+    p_query.set_defaults(func=cmd_query)
+
+    p_advise = sub.add_parser("advise",
+                              help="search for the best joint design")
+    _schema_arguments(p_advise)
+    p_advise.add_argument("--workload", required=True,
+                          help="workload file (one XPath per line)")
+    p_advise.add_argument("--algorithm", choices=sorted(ALGORITHMS),
+                          default="greedy")
+    p_advise.add_argument("--storage-bound-mb", type=int, default=None)
+    p_advise.add_argument("--measure", action="store_true",
+                          help="also load the data and measure the design")
+    p_advise.set_defaults(func=cmd_advise)
+
+    p_exp = sub.add_parser("experiment", help="run a paper experiment")
+    p_exp.add_argument("name", choices=["e0", "table1", "split-count",
+                                        "comparison", "all"])
+    p_exp.add_argument("--scale", type=int, default=1500)
+    p_exp.set_defaults(func=cmd_experiment)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Synthetic data sets: DBLP (Fig. 1a) and Movie (Fig. 1b)."""
+
+from .dblp import CONFERENCES, author_count, dblp_schema, generate_dblp
+from .movie import generate_movies, movie_schema
+
+__all__ = [
+    "dblp_schema",
+    "generate_dblp",
+    "author_count",
+    "CONFERENCES",
+    "movie_schema",
+    "generate_movies",
+]

@@ -1,0 +1,61 @@
+"""Synthetic Movie data set (paper Fig. 1b).
+
+A movie site: ``movie`` elements with title, optional year (the paper's
+Section 4.7 example assumes year is optional), repeated ``aka_title``,
+optional ``avg_rating``, and the choice ``(box_office | seasons)``
+separating theatrical movies from TV shows. Values are uniform, as in
+the paper's synthetic Movie data.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..xmlkit import Document, Element
+from ..xsd import BaseType, SchemaTree, TreeBuilder
+
+_ADJECTIVES = ["Lost", "Dark", "Silent", "Golden", "Broken", "Hidden",
+               "Final", "Eternal", "Burning", "Frozen"]
+_NOUNS = ["Empire", "River", "Garden", "Station", "Horizon", "Signal",
+          "Harbor", "Crown", "Mirror", "Island"]
+
+
+def movie_schema() -> SchemaTree:
+    """The Movie schema tree of Fig. 1b (with optional year)."""
+    b = TreeBuilder("movie")
+    movies = b.tag("movies", annotation="movies")
+    movie_rep = b.rep(movies)
+    movie = b.tag("movie", movie_rep, annotation="movie")
+    b.leaf("title", movie)
+    b.optional_leaf("year", movie, BaseType.INTEGER)
+    b.repeated_leaf("aka_title", movie, annotation="aka_title")
+    b.optional_leaf("avg_rating", movie, BaseType.DECIMAL)
+    choice = b.choice(movie)
+    b.leaf("box_office", choice, BaseType.INTEGER)
+    b.leaf("seasons", choice, BaseType.INTEGER)
+    return b.build(movies)
+
+
+def generate_movies(n_movies: int = 2000, seed: int = 11,
+                    tv_fraction: float = 0.35) -> Document:
+    """Generate a synthetic movie document with uniform distributions."""
+    rng = random.Random(seed)
+    root = Element("movies")
+    for i in range(n_movies):
+        movie = root.make_child("movie")
+        title = (f"{rng.choice(_ADJECTIVES)} {rng.choice(_NOUNS)} {i}")
+        movie.make_child("title", title)
+        if rng.random() < 0.85:
+            movie.make_child("year", str(rng.randint(1950, 2004)))
+        # aka_title cardinality skewed low: most movies have 0-2.
+        for _ in range(rng.choices([0, 1, 2, 3, 6],
+                                   weights=[45, 30, 15, 8, 2], k=1)[0]):
+            movie.make_child("aka_title", f"AKA {title} #{rng.randint(1, 9)}")
+        if rng.random() < 0.60:
+            movie.make_child("avg_rating", f"{rng.uniform(1.0, 10.0):.1f}")
+        if rng.random() < tv_fraction:
+            movie.make_child("seasons", str(rng.randint(1, 12)))
+        else:
+            movie.make_child("box_office", str(rng.randint(10_000,
+                                                           500_000_000)))
+    return Document(root)

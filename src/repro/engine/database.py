@@ -1,0 +1,192 @@
+"""The public database facade.
+
+Ties together catalog, statistics, optimizer, and executor:
+
+* DDL: :meth:`Database.create_table`, :meth:`create_index`,
+  :meth:`create_materialized_view`
+* DML: :meth:`insert_rows`
+* Query: :meth:`execute` (runs and *measures* cost),
+  :meth:`estimate` (optimizer cost only — works on stats-only tables),
+  :meth:`explain`
+* What-if: pass ``extra_indexes`` / ``extra_tables`` to :meth:`estimate`
+  to cost hypothetical physical designs, as the tuning advisor does.
+
+"Execution time" everywhere in this library means the deterministic cost
+accumulated by the executor's :class:`~repro.engine.cost.CostCounter` —
+see DESIGN.md for why this substitution preserves the paper's results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CatalogError, ExecutionError
+from ..sqlast import Query, parse_sql
+from .cost import CostCounter
+from .index import Index, primary_key_index
+from .matview import derive_view_stats, make_view_table, populate_view
+from .optimizer import Optimizer, PlannedQuery
+from .plans import Runtime
+from .schema import Catalog, Column, ForeignKey, JoinViewDefinition, Table
+from .statistics import StatisticsCatalog, TableStats
+
+
+@dataclass
+class ExecutionResult:
+    """Rows plus the measured cost of producing them."""
+
+    rows: list[tuple]
+    cost: float
+    counter: CostCounter
+    plan: PlannedQuery
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self):
+        return len(self.rows)
+
+
+class Database:
+    """An in-memory relational database with a cost-based optimizer."""
+
+    def __init__(self, name: str = "db"):
+        self.name = name
+        self.catalog = Catalog()
+        self.stats = StatisticsCatalog()
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def create_table(self, name: str, columns: list[Column],
+                     primary_key: str | None = "ID",
+                     foreign_keys: list[ForeignKey] | None = None) -> Table:
+        table = Table(name, columns, primary_key, foreign_keys)
+        return self.catalog.add_table(table)
+
+    def register_table(self, table: Table) -> Table:
+        """Add a pre-built (possibly stats-only) table."""
+        return self.catalog.add_table(table)
+
+    def create_index(self, name: str, table_name: str,
+                     key_columns: list[str],
+                     included_columns: list[str] | None = None,
+                     build: bool = True) -> Index:
+        index = Index(name=name, table_name=table_name,
+                      key_columns=tuple(key_columns),
+                      included_columns=tuple(included_columns or ()))
+        self.catalog.add_index(index)
+        table = self.catalog.table(table_name)
+        if build and table.is_materialized:
+            index.build(table)
+        return index
+
+    def create_materialized_view(self, name: str,
+                                 definition: JoinViewDefinition,
+                                 populate: bool = True) -> Table:
+        parent = self.catalog.table(definition.parent_table)
+        child = self.catalog.table(definition.child_table)
+        view = make_view_table(name, definition, parent, child)
+        self.catalog.add_table(view)
+        if populate and parent.is_materialized and child.is_materialized:
+            populate_view(view, parent, child)
+            self.stats.analyze_table(view)
+        else:
+            self.stats.set_table(name, derive_view_stats(view, definition,
+                                                         self.stats))
+        return view
+
+    # ------------------------------------------------------------------
+    # Data
+    # ------------------------------------------------------------------
+    def insert_rows(self, table_name: str, rows: list[tuple]) -> None:
+        table = self.catalog.table(table_name)
+        if table.rows is None:
+            table.rows = []
+        for row in rows:
+            table.insert(row)
+
+    def analyze(self, table_name: str | None = None) -> None:
+        """(Re)collect statistics and refresh VARCHAR width estimates."""
+        tables = ([self.catalog.table(table_name)] if table_name
+                  else list(self.catalog.tables.values()))
+        for table in tables:
+            if not table.is_materialized:
+                continue
+            stats = self.stats.analyze_table(table)
+            for column in table.columns:
+                column_stats = stats.column(column.name)
+                if column_stats is not None and column_stats.avg_width:
+                    column.avg_width = column_stats.avg_width
+
+    def set_table_stats(self, table_name: str, stats: TableStats) -> None:
+        """Install externally derived statistics (stats-only tables)."""
+        table = self.catalog.table(table_name)
+        table.row_count_estimate = stats.row_count
+        for column in table.columns:
+            column_stats = stats.column(column.name)
+            if column_stats is not None and column_stats.avg_width:
+                column.avg_width = column_stats.avg_width
+        self.stats.set_table(table_name, stats)
+
+    def build_primary_key_indexes(self) -> None:
+        """Create (and build) the implicit clustered PK index per table."""
+        for table in self.catalog.base_tables():
+            if table.primary_key is None:
+                continue
+            name = f"pk_{table.name}"
+            if name in self.catalog.indexes:
+                continue
+            index = primary_key_index(table)
+            self.catalog.add_index(index)
+            if table.is_materialized:
+                index.build(table)
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def _as_query(self, query: Query | str) -> Query:
+        if isinstance(query, str):
+            return parse_sql(query)
+        return query
+
+    def explain(self, query: Query | str) -> PlannedQuery:
+        return Optimizer(self.catalog, self.stats, what_if=False).plan(
+            self._as_query(query))
+
+    def estimate(self, query: Query | str,
+                 extra_indexes: list[Index] | None = None,
+                 extra_tables: list[Table] | None = None) -> PlannedQuery:
+        """Optimizer-estimated cost; supports hypothetical objects."""
+        optimizer = Optimizer(self.catalog, self.stats, what_if=True,
+                              extra_indexes=extra_indexes,
+                              extra_tables=extra_tables)
+        return optimizer.plan(self._as_query(query))
+
+    def execute(self, query: Query | str) -> ExecutionResult:
+        """Plan with built objects only, run, and measure cost."""
+        planned = self.explain(query)
+        counter = CostCounter()
+        runtime = Runtime(self.catalog, counter)
+        planned.prepare(runtime)
+        rows = list(planned.root.execute_tuples(runtime))
+        return ExecutionResult(rows=rows, cost=counter.total,
+                               counter=counter, plan=planned)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def total_size_bytes(self, include_design: bool = True) -> int:
+        """Bytes of data (+ indexes and views when ``include_design``)."""
+        total = self.catalog.total_data_bytes()
+        if include_design:
+            for view in self.catalog.views():
+                total += view.size_bytes
+            for index in self.catalog.indexes.values():
+                table = self.catalog.table(index.table_name)
+                total += index.size_bytes(table)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Database {self.name!r} tables={len(self.catalog.tables)} "
+                f"indexes={len(self.catalog.indexes)}>")

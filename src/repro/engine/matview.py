@@ -1,0 +1,86 @@
+"""Materialized join views.
+
+The tuning advisor considers two-table join views of the shape the
+translated queries use: ``child JOIN parent ON child.fk = parent.ID``.
+A view is represented as a :class:`~repro.engine.schema.Table` carrying a
+:class:`~repro.engine.schema.JoinViewDefinition`; this module builds the
+view's rows from data and derives its statistics without data (what-if
+mode).
+"""
+
+from __future__ import annotations
+
+from ..errors import CatalogError
+from .schema import Column, JoinViewDefinition, Table
+from .statistics import StatisticsCatalog, TableStats
+
+
+def make_view_table(name: str, definition: JoinViewDefinition,
+                    parent: Table, child: Table) -> Table:
+    """Create the (not yet populated) view table object."""
+    columns = []
+    for view_col, (source_table, source_col) in definition.columns:
+        if source_table == parent.name:
+            source = parent.column(source_col)
+        elif source_table == child.name:
+            source = child.column(source_col)
+        else:
+            raise CatalogError(
+                f"view {name!r} references table {source_table!r} outside "
+                f"its definition")
+        columns.append(Column(view_col, source.sql_type,
+                              nullable=source.nullable,
+                              avg_width=source.avg_width))
+    view = Table(name, columns, primary_key=None, view_def=definition)
+    return view
+
+
+def populate_view(view: Table, parent: Table, child: Table) -> None:
+    """Materialize the join rows into the view table."""
+    definition = view.view_def
+    assert definition is not None
+    if parent.rows is None or child.rows is None:
+        raise CatalogError(
+            f"cannot populate view {view.name!r}: sources not materialized")
+    parent_by_id: dict[object, tuple] = {}
+    id_pos = parent.column_position(parent.primary_key or "ID")
+    for row in parent.rows:
+        parent_by_id[row[id_pos]] = row
+    fk_pos = child.column_position(definition.child_fk_column)
+    extractors = []
+    for _, (source_table, source_col) in definition.columns:
+        if source_table == parent.name:
+            pos = parent.column_position(source_col)
+            extractors.append(("p", pos))
+        else:
+            pos = child.column_position(source_col)
+            extractors.append(("c", pos))
+    rows = []
+    for child_row in child.rows:
+        parent_row = parent_by_id.get(child_row[fk_pos])
+        if parent_row is None:
+            continue
+        rows.append(tuple(
+            parent_row[pos] if side == "p" else child_row[pos]
+            for side, pos in extractors))
+    view.set_rows(rows)
+
+
+def derive_view_stats(view: Table, definition: JoinViewDefinition,
+                      stats: StatisticsCatalog) -> TableStats:
+    """Estimate view statistics from the source tables' statistics.
+
+    Each child row joins exactly one parent (FK semantics), so the view
+    has the child's cardinality; parent-sourced columns keep their value
+    distribution but are re-scaled to the child row count.
+    """
+    child_stats = stats.table(definition.child_table)
+    child_rows = child_stats.row_count if child_stats else 0
+    view_stats = TableStats(row_count=child_rows)
+    for view_col, (source_table, source_col) in definition.columns:
+        source = stats.column(source_table, source_col)
+        if source is None:
+            continue
+        view_stats.columns[view_col] = source.scaled(child_rows)
+    view.row_count_estimate = child_rows
+    return view_stats

@@ -1,0 +1,953 @@
+"""Cost-based query optimizer.
+
+For every SELECT branch the optimizer:
+
+1. classifies WHERE conjuncts into per-alias filters, equi-join
+   predicates, and EXISTS probes;
+2. considers replacing a parent/child join with a matching materialized
+   view (column-coverage + join-shape match);
+3. picks an access path per alias — sequential scan, index seek, or
+   covering (index-only) seek — using histogram selectivities;
+4. enumerates left-deep join orders, choosing per edge between hash
+   join, index-nested-loop join, and block nested-loop join;
+5. compiles residual predicates and output expressions.
+
+The optimizer works identically over materialized and stats-only
+catalogs; with ``what_if`` additional hypothetical indexes/views can be
+costed without being built, which is how the tuning advisor evaluates
+candidate configurations (and how the design search evaluates candidate
+mappings without loading data).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import PlanError
+from ..sqlast import (And, BoolExpr, ColumnRef, Comparison, ComparisonOp,
+                      Exists, IsNull, Literal, Or, Query, Select)
+from .cost import (CPU_OPERATOR_COST, CPU_TUPLE_COST, HASH_TUPLE_COST,
+                   RANDOM_PAGE_COST, SEQ_PAGE_COST, SORT_FACTOR)
+from .expressions import (Environment, compile_predicate, compile_scalar,
+                          referenced_columns)
+from .index import Index
+from .plans import (HashJoin, IndexNestedLoopJoin, IndexSeek, NestedLoopJoin,
+                    PlanNode, Project, Runtime, SeqScan, SortPlan,
+                    UnionAllPlan)
+from .schema import Catalog, Table
+from .statistics import ColumnStats, StatisticsCatalog
+from .types import PAGE_FILL_FACTOR, PAGE_SIZE
+
+_DEFAULT_EQ_SEL = 0.005
+_DEFAULT_RANGE_SEL = 0.30
+_DEFAULT_NULL_SEL = 0.05
+
+_RANGE_OPS = {
+    ComparisonOp.LT: "<",
+    ComparisonOp.LE: "<=",
+    ComparisonOp.GT: ">",
+    ComparisonOp.GE: ">=",
+}
+
+
+# ----------------------------------------------------------------------
+# EXISTS probes
+# ----------------------------------------------------------------------
+
+
+class ExistsProbe:
+    """A compiled EXISTS subquery, probed once per candidate row.
+
+    Bound to a runtime before execution; probes either an index seek or
+    a set of correlation keys materialized on first use.
+    """
+
+    def __init__(self, table_name: str, alias: str,
+                 corr_column: str, corr_outer: ColumnRef,
+                 index: Index | None,
+                 local_predicate: Callable[[Environment], bool] | None,
+                 resolve_outer: Callable[[ColumnRef], tuple[str, int]],
+                 local_filter_expr: BoolExpr | None = None,
+                 extra_key_values: tuple = ()):
+        self.table_name = table_name
+        self.alias = alias
+        self.corr_column = corr_column
+        self.corr_outer = corr_outer
+        self.index = index
+        self.local_predicate = local_predicate
+        self.local_filter_expr = local_filter_expr
+        self.extra_key_values = extra_key_values
+        self._outer_fetch = compile_scalar(corr_outer, resolve_outer)
+        self._runtime: Runtime | None = None
+        self._key_set: set | None = None
+
+    def bind(self, runtime: Runtime) -> None:
+        self._runtime = runtime
+        self._key_set = None
+
+    def objects_used(self) -> set[str]:
+        if self.index is not None:
+            return {self.index.name}
+        return {self.table_name}
+
+    def __call__(self, env: Environment) -> bool:
+        runtime = self._runtime
+        if runtime is None:
+            raise PlanError("EXISTS probe executed without bind()")
+        outer_value = self._outer_fetch(env)
+        if outer_value is None:
+            return False
+        if self.index is not None:
+            table = runtime.table(self.table_name)
+            runtime.counter.charge_random_pages(self.index.height(table))
+            key = (outer_value,) + self.extra_key_values
+            for _, position in self.index.tree.range_scan(key, key):
+                runtime.counter.charge_tuples(1)
+                if self.local_predicate is None:
+                    return True
+                if self.local_predicate({self.alias: table.rows[position]}):
+                    return True
+            return False
+        if self._key_set is None:
+            table = runtime.table(self.table_name)
+            runtime.counter.charge_seq_pages(table.page_count)
+            corr_pos = table.column_position(self.corr_column)
+            keys = set()
+            for row in table.rows or ():
+                runtime.counter.charge_tuples(1)
+                if self.local_predicate is None or \
+                        self.local_predicate({self.alias: row}):
+                    keys.add(row[corr_pos])
+            self._key_set = keys
+        runtime.counter.charge_operations(1)
+        return outer_value in self._key_set
+
+
+# ----------------------------------------------------------------------
+# Planned query container
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class PlannedQuery:
+    """The optimizer's output for one SQL query."""
+
+    root: SortPlan | UnionAllPlan | Project
+    est_cost: float
+    probes: list[ExistsProbe] = field(default_factory=list)
+    branch_plans: list[PlanNode] = field(default_factory=list)
+
+    def objects_used(self) -> frozenset[str]:
+        used = set(self.root.objects_used())
+        for probe in self.probes:
+            used |= probe.objects_used()
+        return frozenset(used)
+
+    def prepare(self, runtime: Runtime) -> None:
+        for probe in self.probes:
+            probe.bind(runtime)
+
+    def explain(self) -> str:
+        return self.root.explain()
+
+
+# ----------------------------------------------------------------------
+# Conjunct classification
+# ----------------------------------------------------------------------
+
+
+def _split_or_flatten(where: BoolExpr | None) -> list[BoolExpr]:
+    if where is None:
+        return []
+    if isinstance(where, And):
+        out: list[BoolExpr] = []
+        for item in where.items:
+            out.extend(_split_or_flatten(item))
+        return out
+    return [where]
+
+
+def _aliases_of(expr: BoolExpr, default_alias_of: Callable[[str], str]) -> set[str]:
+    refs = referenced_columns(expr)
+    aliases = set()
+    for ref in refs:
+        aliases.add(ref.table or default_alias_of(ref.column))
+    if isinstance(expr, Or):
+        for item in expr.items:
+            if isinstance(item, Exists):
+                aliases |= _exists_outer_aliases(item, default_alias_of)
+    if isinstance(expr, Exists):
+        aliases |= _exists_outer_aliases(expr, default_alias_of)
+    return aliases
+
+
+def _exists_outer_aliases(expr: Exists,
+                          default_alias_of: Callable[[str], str]) -> set[str]:
+    inner_aliases = {t.name for t in expr.subquery.from_tables}
+    out = set()
+    for select_where in [expr.subquery.where]:
+        if select_where is None:
+            continue
+        for ref in referenced_columns(select_where):
+            alias = ref.table or default_alias_of(ref.column)
+            if alias not in inner_aliases:
+                out.add(alias)
+    return out
+
+
+# ----------------------------------------------------------------------
+# The optimizer
+# ----------------------------------------------------------------------
+
+
+class Optimizer:
+    def __init__(self, catalog: Catalog, stats: StatisticsCatalog,
+                 what_if: bool = False,
+                 extra_indexes: list[Index] | None = None,
+                 extra_tables: list[Table] | None = None):
+        self.catalog = catalog
+        self.stats = stats
+        self.what_if = what_if
+        self.extra_indexes = list(extra_indexes or [])
+        self.extra_tables = {t.name: t for t in (extra_tables or [])}
+
+    # -- catalog helpers -------------------------------------------------
+    def _table(self, name: str) -> Table:
+        if name in self.extra_tables:
+            return self.extra_tables[name]
+        return self.catalog.table(name)
+
+    def _indexes_on(self, table_name: str) -> list[Index]:
+        indexes = [ix for ix in self.catalog.indexes.values()
+                   if ix.table_name == table_name]
+        indexes += [ix for ix in self.extra_indexes
+                    if ix.table_name == table_name]
+        if not self.what_if:
+            indexes = [ix for ix in indexes if ix.is_built or ix.clustered]
+        return indexes
+
+    def _column_stats(self, table_name: str, column: str) -> ColumnStats | None:
+        return self.stats.column(table_name, column)
+
+    # -- public API ------------------------------------------------------
+    def plan(self, query: Query) -> PlannedQuery:
+        probes: list[ExistsProbe] = []
+        branches: list[Project] = []
+        branch_plans: list[PlanNode] = []
+        total_cost = 0.0
+        total_rows = 0.0
+        for select in query.selects:
+            project, cost, rows = self._plan_select(select, probes)
+            branches.append(project)
+            branch_plans.append(project)
+            total_cost += cost
+            total_rows += rows
+        if len(branches) == 1:
+            top: SortPlan | UnionAllPlan | Project = branches[0]
+        else:
+            top = UnionAllPlan(branches)
+            top.est_rows = total_rows
+            top.est_cost = total_cost
+        if query.order_by:
+            sort = SortPlan(top, query.order_by)
+            sort.est_rows = total_rows
+            sort_cost = (total_rows * math.log2(max(total_rows, 2))
+                         * SORT_FACTOR)
+            total_cost += sort_cost
+            sort.est_cost = total_cost
+            top = sort
+        return PlannedQuery(root=top, est_cost=total_cost, probes=probes,
+                            branch_plans=branch_plans)
+
+    # -- per-select planning ----------------------------------------------
+    def _plan_select(self, select: Select,
+                     probes_out: list[ExistsProbe]) -> tuple[Project, float, float]:
+        candidates: list[tuple[Project, float, float, list[ExistsProbe]]] = []
+        direct = self._plan_select_over(select, None)
+        candidates.append(direct)
+        for view in self._candidate_views(select):
+            try:
+                candidates.append(self._plan_select_over(select, view))
+            except PlanError:
+                continue
+        best = min(candidates, key=lambda c: c[1])
+        probes_out.extend(best[3])
+        return best[0], best[1], best[2]
+
+    def _candidate_views(self, select: Select) -> list[Table]:
+        views = [t for t in self.catalog.views()]
+        views += [t for t in self.extra_tables.values() if t.is_view]
+        if not self.what_if:
+            views = [v for v in views if v.is_materialized]
+        tables = {t.table for t in select.from_tables}
+        out = []
+        for view in views:
+            assert view.view_def is not None
+            if tables == {view.view_def.parent_table, view.view_def.child_table}:
+                out.append(view)
+        return out
+
+    def _plan_select_over(self, select: Select, view: Table | None):
+        """Plan one SELECT, optionally substituting a join view."""
+        alias_tables: dict[str, Table] = {}
+        for ref in select.from_tables:
+            alias_tables[ref.name] = self._table(ref.table)
+
+        def default_alias(column: str) -> str:
+            owners = [a for a, t in alias_tables.items() if t.has_column(column)]
+            if len(owners) != 1:
+                raise PlanError(
+                    f"column {column!r} is ambiguous or unknown in "
+                    f"{list(alias_tables)}")
+            return owners[0]
+
+        conjuncts = _split_or_flatten(select.where)
+        local: dict[str, list[BoolExpr]] = {a: [] for a in alias_tables}
+        joins: list[tuple[str, str, str, str]] = []  # (aliasA, colA, aliasB, colB)
+        exists_list: list[Exists] = []
+        multi: list[BoolExpr] = []
+        for conjunct in conjuncts:
+            if isinstance(conjunct, Exists):
+                exists_list.append(conjunct)
+                continue
+            if isinstance(conjunct, Comparison) and \
+                    isinstance(conjunct.left, ColumnRef) and \
+                    isinstance(conjunct.right, ColumnRef) and \
+                    conjunct.op == ComparisonOp.EQ:
+                la = conjunct.left.table or default_alias(conjunct.left.column)
+                ra = conjunct.right.table or default_alias(conjunct.right.column)
+                if la != ra:
+                    joins.append((la, conjunct.left.column, ra,
+                                  conjunct.right.column))
+                    continue
+            aliases = _aliases_of(conjunct, default_alias)
+            if len(aliases) == 1:
+                local[next(iter(aliases))].append(conjunct)
+            else:
+                multi.append(conjunct)
+
+        # Column binding: (alias, column) -> (env_alias, position)
+        if view is None:
+            binding = {}
+            for alias, table in alias_tables.items():
+                for i, col in enumerate(table.columns):
+                    binding[(alias, col.name)] = (alias, i)
+        else:
+            join_exempt = {(la, lc) for la, lc, _, _ in joins} | \
+                          {(ra, rc) for _, _, ra, rc in joins}
+            binding = self._view_binding(select, view, alias_tables,
+                                         join_exempt)
+
+        def resolve(ref: ColumnRef) -> tuple[str, int]:
+            alias = ref.table or default_alias(ref.column)
+            key = (alias, ref.column)
+            if key not in binding:
+                raise PlanError(f"cannot resolve column {ref}")
+            return binding[key]
+
+        probes: list[ExistsProbe] = []
+        # EXISTS nested inside OR filters are compiled via a probe too.
+        probe_map: dict[int, ExistsProbe] = {}
+
+        def install_probe(exists: Exists) -> ExistsProbe:
+            probe = self._build_probe(exists, default_alias, resolve)
+            probes.append(probe)
+            probe_map[id(exists)] = probe
+            return probe
+
+        def compile_bool(expr: BoolExpr) -> Callable[[Environment], bool]:
+            if isinstance(expr, Exists):
+                probe = probe_map.get(id(expr)) or install_probe(expr)
+                return probe
+            if isinstance(expr, And):
+                parts = [compile_bool(e) for e in expr.items]
+                return lambda env: all(p(env) for p in parts)
+            if isinstance(expr, Or):
+                parts = [compile_bool(e) for e in expr.items]
+                return lambda env: any(p(env) for p in parts)
+            return compile_predicate(expr, resolve)
+
+        # Top-level EXISTS conjuncts attach to the alias they correlate with.
+        exists_sel: dict[str, float] = {}
+        for exists in exists_list:
+            outer_aliases = _exists_outer_aliases(exists, default_alias)
+            if len(outer_aliases) != 1:
+                raise PlanError("EXISTS must correlate with exactly one alias")
+            owner = next(iter(outer_aliases))
+            local[owner].append(exists)
+            exists_sel[owner] = exists_sel.get(owner, 1.0) * 0.5
+
+        if view is None:
+            plan, cost, rows = self._plan_joins(
+                select, alias_tables, local, joins, multi,
+                compile_bool, resolve)
+        else:
+            plan, cost, rows = self._plan_view_scan(
+                select, view, alias_tables, local, joins, multi,
+                compile_bool, binding)
+
+        exprs = [compile_scalar(item.expr, resolve) for item in select.items]
+        project = Project(plan, exprs)
+        cost += rows * CPU_TUPLE_COST
+        project.est_rows = rows
+        project.est_cost = cost
+        return project, cost, rows, probes
+
+    # ------------------------------------------------------------------
+    # View substitution
+    # ------------------------------------------------------------------
+    def _view_binding(self, select: Select, view: Table,
+                      alias_tables: dict[str, Table],
+                      join_exempt: set[tuple[str, str]] = frozenset()) -> dict:
+        assert view.view_def is not None
+        source_of = {name: src for name, src in view.view_def.columns}
+        table_alias = {table.name: alias
+                       for alias, table in alias_tables.items()}
+        binding: dict[tuple[str, str], tuple[str, int]] = {}
+        for position, col in enumerate(view.columns):
+            # The view's own columns are addressable under the "@view"
+            # alias (used by filters rewritten onto the view).
+            binding[("@view", col.name)] = ("@view", position)
+            src = source_of.get(col.name)
+            if src is None:
+                continue
+            src_table, src_col = src
+            alias = table_alias.get(src_table)
+            if alias is not None:
+                binding[(alias, src_col)] = ("@view", position)
+        # Verify every referenced column of the select is bound; the
+        # join columns implied by the view definition are exempt.
+        needed = {(r.table, r.column) for r in self._select_column_refs(select)}
+        for alias, column in needed:
+            key = (alias or self._owner_alias(column, alias_tables), column)
+            if key in join_exempt:
+                continue
+            if key not in binding:
+                raise PlanError(
+                    f"view {view.name!r} does not cover column {key}")
+        return binding
+
+    @staticmethod
+    def _owner_alias(column: str, alias_tables: dict[str, Table]) -> str:
+        owners = [a for a, t in alias_tables.items() if t.has_column(column)]
+        if len(owners) != 1:
+            raise PlanError(f"column {column!r} is ambiguous")
+        return owners[0]
+
+    @staticmethod
+    def _select_column_refs(select: Select) -> set[ColumnRef]:
+        refs: set[ColumnRef] = set()
+        for item in select.items:
+            refs |= referenced_columns(item.expr)
+        if select.where is not None:
+            refs |= {r for r in referenced_columns(select.where)}
+        return refs
+
+    def _plan_view_scan(self, select: Select, view: Table,
+                        alias_tables, local, joins, multi,
+                        compile_bool, binding):
+        """Plan the select as a scan/seek over the substituted view."""
+        filters: list[BoolExpr] = []
+        for alias_filters in local.values():
+            filters.extend(alias_filters)
+        filters.extend(multi)
+        # Join conjuncts between the two source tables are implied by the
+        # view itself; any other join is unplannable here.
+        assert view.view_def is not None
+        pair = {view.view_def.parent_table, view.view_def.child_table}
+        for la, lc, ra, rc in joins:
+            ta = alias_tables[la].name
+            tb = alias_tables[ra].name
+            if {ta, tb} != pair:
+                raise PlanError("view does not cover this join")
+        rewritten = self._rewrite_filters_for_view(
+            filters, view, binding, alias_tables)
+        stats_rows = self._view_row_count(view)
+        plan, cost, rows = self._best_access_path(
+            view, "@view", rewritten, compile_bool,
+            required_columns=self._view_required_columns(view, binding),
+            row_count=stats_rows, rebind=binding, alias_tables=alias_tables)
+        return plan, cost, rows
+
+    def _view_row_count(self, view: Table) -> int:
+        table_stats = self.stats.table(view.name)
+        if table_stats is not None:
+            return table_stats.row_count
+        return view.row_count
+
+    @staticmethod
+    def _view_required_columns(view: Table, binding) -> set[str]:
+        return {view.columns[pos].name
+                for (_, _), (env, pos) in binding.items() if env == "@view"}
+
+    def _rewrite_filters_for_view(self, filters, view, binding, alias_tables):
+        """Map filter column refs onto the view's own columns."""
+        def rewrite_ref(ref: ColumnRef) -> ColumnRef:
+            alias = ref.table or self._owner_alias(ref.column, alias_tables)
+            env, pos = binding[(alias, ref.column)]
+            return ColumnRef("@view", view.columns[pos].name)
+
+        def rewrite(expr):
+            if isinstance(expr, Comparison):
+                left = rewrite_ref(expr.left) if isinstance(expr.left, ColumnRef) else expr.left
+                right = rewrite_ref(expr.right) if isinstance(expr.right, ColumnRef) else expr.right
+                return Comparison(left, expr.op, right)
+            if isinstance(expr, IsNull):
+                return IsNull(rewrite_ref(expr.operand), expr.negated)
+            if isinstance(expr, And):
+                return And(tuple(rewrite(e) for e in expr.items))
+            if isinstance(expr, Or):
+                return Or(tuple(rewrite(e) for e in expr.items))
+            raise PlanError(f"cannot push {expr!r} into a view scan")
+
+        return [rewrite(f) for f in filters]
+
+    # ------------------------------------------------------------------
+    # EXISTS probe construction
+    # ------------------------------------------------------------------
+    def _build_probe(self, exists: Exists, default_alias, resolve) -> ExistsProbe:
+        sub = exists.subquery
+        if len(sub.from_tables) != 1:
+            raise PlanError("EXISTS subqueries must reference one table")
+        inner_ref = sub.from_tables[0]
+        inner_table = self._table(inner_ref.table)
+        inner_alias = inner_ref.name
+        corr_column = None
+        corr_outer = None
+        local_parts: list[BoolExpr] = []
+        for conjunct in _split_or_flatten(sub.where):
+            if isinstance(conjunct, Comparison) and \
+                    conjunct.op == ComparisonOp.EQ and \
+                    isinstance(conjunct.left, ColumnRef) and \
+                    isinstance(conjunct.right, ColumnRef):
+                left_inner = conjunct.left.table == inner_alias
+                right_inner = conjunct.right.table == inner_alias
+                if left_inner and not right_inner:
+                    corr_column, corr_outer = conjunct.left.column, conjunct.right
+                    continue
+                if right_inner and not left_inner:
+                    corr_column, corr_outer = conjunct.right.column, conjunct.left
+                    continue
+            local_parts.append(conjunct)
+        if corr_column is None or corr_outer is None:
+            raise PlanError("EXISTS subquery must have a correlation equality")
+
+        # Pick an index whose leading key is the correlation column; if
+        # the next key column carries an equality local predicate, fold
+        # it into the seek key.
+        best_index = None
+        extra_values: tuple = ()
+        for index in self._indexes_on(inner_table.name):
+            if index.clustered or index.key_columns[0] != corr_column:
+                continue
+            values: tuple = ()
+            if len(index.key_columns) > 1 and len(local_parts) == 1:
+                part = local_parts[0]
+                if isinstance(part, Comparison) and part.op == ComparisonOp.EQ \
+                        and isinstance(part.left, ColumnRef) \
+                        and isinstance(part.right, Literal) \
+                        and part.left.column == index.key_columns[1]:
+                    values = (part.right.value,)
+            if best_index is None or len(values) > len(extra_values):
+                best_index = index
+                extra_values = values
+
+        local_predicate = None
+        remaining = [p for p in local_parts]
+        if best_index is not None and extra_values:
+            remaining = []
+        if remaining:
+            def resolve_inner(ref: ColumnRef):
+                if ref.table in ("", inner_alias):
+                    return inner_alias, inner_table.column_position(ref.column)
+                raise PlanError(f"unexpected outer reference {ref} in EXISTS")
+            local_predicate = compile_predicate(
+                And(tuple(remaining)) if len(remaining) > 1 else remaining[0],
+                resolve_inner)
+        return ExistsProbe(
+            table_name=inner_table.name,
+            alias=inner_alias,
+            corr_column=corr_column,
+            corr_outer=corr_outer,
+            index=best_index,
+            local_predicate=local_predicate,
+            resolve_outer=resolve,
+            extra_key_values=extra_values,
+        )
+
+    # ------------------------------------------------------------------
+    # Selectivity
+    # ------------------------------------------------------------------
+    def _conjunct_selectivity(self, table: Table, expr: BoolExpr) -> float:
+        if isinstance(expr, Comparison):
+            column, literal = None, None
+            if isinstance(expr.left, ColumnRef) and isinstance(expr.right, Literal):
+                column, literal = expr.left.column, expr.right.value
+            elif isinstance(expr.right, ColumnRef) and isinstance(expr.left, Literal):
+                column, literal = expr.right.column, expr.left.value
+            if column is None:
+                return 0.5
+            stats = self._column_stats(table.name, column)
+            if expr.op == ComparisonOp.EQ:
+                if stats is None:
+                    return _DEFAULT_EQ_SEL
+                return stats.eq_selectivity(self._coerce(table, column, literal))
+            if expr.op == ComparisonOp.NE:
+                if stats is None:
+                    return 1.0 - _DEFAULT_EQ_SEL
+                return max(0.0, stats.non_null_fraction
+                           - stats.eq_selectivity(self._coerce(table, column, literal)))
+            if expr.op in _RANGE_OPS:
+                if stats is None:
+                    return _DEFAULT_RANGE_SEL
+                return stats.range_selectivity(
+                    _RANGE_OPS[expr.op], self._coerce(table, column, literal))
+            return 0.5
+        if isinstance(expr, IsNull):
+            stats = self._column_stats(table.name, expr.operand.column)
+            if stats is None:
+                fraction = _DEFAULT_NULL_SEL
+            else:
+                fraction = stats.null_fraction
+            return 1.0 - fraction if expr.negated else fraction
+        if isinstance(expr, And):
+            sel = 1.0
+            for item in expr.items:
+                sel *= self._conjunct_selectivity(table, item)
+            return sel
+        if isinstance(expr, Or):
+            sel = 1.0
+            for item in expr.items:
+                sel *= 1.0 - self._conjunct_selectivity(table, item)
+            return 1.0 - sel
+        if isinstance(expr, Exists):
+            return 0.5
+        return 0.5
+
+    @staticmethod
+    def _coerce(table: Table, column: str, literal):
+        try:
+            return table.column(column).sql_type.coerce(literal)
+        except (ValueError, TypeError):
+            return literal
+
+    # ------------------------------------------------------------------
+    # Access paths
+    # ------------------------------------------------------------------
+    def _best_access_path(self, table: Table, alias: str,
+                          filters: list[BoolExpr], compile_bool,
+                          required_columns: set[str],
+                          row_count: int | None = None,
+                          rebind=None, alias_tables=None):
+        """Cheapest scan/seek for one table. Returns (plan, cost, rows)."""
+        rows_in = row_count if row_count is not None else self._row_count(table)
+        selectivity = 1.0
+        for expr in filters:
+            selectivity *= self._conjunct_selectivity(table, expr)
+        rows_out = max(rows_in * selectivity, 0.0)
+        predicate = None
+        if filters:
+            combined = And(tuple(filters)) if len(filters) > 1 else filters[0]
+            predicate = compile_bool(combined)
+
+        pages = self._page_count(table, rows_in)
+        best_plan: PlanNode = SeqScan(table.name, alias, predicate)
+        best_cost = (pages * SEQ_PAGE_COST
+                     + rows_in * CPU_TUPLE_COST
+                     + rows_in * len(filters) * CPU_OPERATOR_COST)
+        best_plan.est_rows = rows_out
+        best_plan.est_cost = best_cost
+
+        for index in self._indexes_on(table.name):
+            seek = self._try_index_seek(index, table, alias, filters,
+                                        compile_bool, required_columns,
+                                        rows_in)
+            if seek is None:
+                continue
+            plan, cost = seek
+            if cost < best_cost:
+                best_plan, best_cost = plan, cost
+                best_plan.est_rows = rows_out
+                best_plan.est_cost = cost
+        return best_plan, best_cost, rows_out
+
+    def _row_count(self, table: Table) -> int:
+        table_stats = self.stats.table(table.name)
+        if table_stats is not None:
+            return table_stats.row_count
+        return table.row_count
+
+    def _page_count(self, table: Table, rows: int) -> int:
+        usable = PAGE_SIZE * PAGE_FILL_FACTOR
+        per_page = max(1, int(usable // table.row_width))
+        return max(1, math.ceil(rows / per_page))
+
+    def _try_index_seek(self, index: Index, table: Table, alias: str,
+                        filters: list[BoolExpr], compile_bool,
+                        required_columns: set[str], rows_in: int):
+        """Build an IndexSeek over constant predicates, if sargable."""
+        eq_values: dict[str, object] = {}
+        range_pred: dict[str, tuple] = {}
+        other: list[BoolExpr] = []
+        for expr in filters:
+            placed = False
+            if isinstance(expr, Comparison) and \
+                    isinstance(expr.left, ColumnRef) and \
+                    isinstance(expr.right, Literal):
+                column = expr.left.column
+                value = self._coerce(table, column, expr.right.value)
+                if expr.op == ComparisonOp.EQ and column not in eq_values:
+                    eq_values[column] = value
+                    placed = True
+                elif expr.op in _RANGE_OPS and column not in range_pred:
+                    range_pred[column] = (expr.op, value)
+                    placed = True
+            if not placed:
+                other.append(expr)
+
+        prefix: list[str] = []
+        for column in index.key_columns:
+            if column in eq_values:
+                prefix.append(column)
+            else:
+                break
+        range_column = None
+        if len(prefix) < len(index.key_columns):
+            next_col = index.key_columns[len(prefix)]
+            if next_col in range_pred:
+                range_column = next_col
+        if not prefix and range_column is None:
+            if not index.clustered:
+                return None
+            return None  # full clustered scan == seq scan; already costed
+
+        seek_sel = 1.0
+        residual_filters: list[BoolExpr] = list(other)
+        used_eq = set(prefix)
+        for column, value in eq_values.items():
+            expr = Comparison(ColumnRef(alias, column), ComparisonOp.EQ,
+                              Literal(value))
+            if column in used_eq:
+                seek_sel *= self._conjunct_selectivity(table, expr)
+            else:
+                residual_filters.append(expr)
+        bounds = None
+        if range_column is not None:
+            op, value = range_pred.pop(range_column)
+            expr = Comparison(ColumnRef(alias, range_column), op, Literal(value))
+            seek_sel *= self._conjunct_selectivity(table, expr)
+            if op in (ComparisonOp.GT, ComparisonOp.GE):
+                bounds = (value, op == ComparisonOp.GE, None, True)
+            else:
+                bounds = (None, True, value, op == ComparisonOp.LE)
+        for column, (op, value) in range_pred.items():
+            residual_filters.append(
+                Comparison(ColumnRef(alias, column), op, Literal(value)))
+
+        matched = max(rows_in * seek_sel, 0.0)
+        covering = index.covers(required_columns, table)
+        entries_per_page = max(1, int(
+            PAGE_SIZE * PAGE_FILL_FACTOR // index.entry_width(table)))
+        cost = (index.height(table) * RANDOM_PAGE_COST
+                + (matched / entries_per_page) * SEQ_PAGE_COST
+                + matched * CPU_TUPLE_COST
+                + matched * len(residual_filters) * CPU_OPERATOR_COST)
+        if not covering:
+            cost += matched * RANDOM_PAGE_COST
+
+        residual = None
+        if residual_filters:
+            combined = (And(tuple(residual_filters))
+                        if len(residual_filters) > 1 else residual_filters[0])
+            residual = compile_bool(combined)
+        eq_exprs = [(lambda v: (lambda env: v))(eq_values[c]) for c in prefix]
+        plan = IndexSeek(index, table.name, alias, eq_exprs,
+                         range_bounds=bounds, residual=residual,
+                         covering=covering)
+        plan.est_leaf_pages = matched / entries_per_page
+        plan.est_fetches = 0.0 if covering else matched
+        return plan, cost
+
+    # ------------------------------------------------------------------
+    # Join planning
+    # ------------------------------------------------------------------
+    def _plan_joins(self, select: Select, alias_tables: dict[str, Table],
+                    local: dict[str, list[BoolExpr]],
+                    joins: list[tuple[str, str, str, str]],
+                    multi: list[BoolExpr], compile_bool, resolve):
+        aliases = list(alias_tables)
+        required: dict[str, set[str]] = {a: set() for a in aliases}
+        for ref in self._select_column_refs(select):
+            alias = ref.table or self._owner_alias(ref.column, alias_tables)
+            required[alias].add(ref.column)
+        for la, lc, ra, rc in joins:
+            required[la].add(lc)
+            required[ra].add(rc)
+
+        if len(aliases) == 1:
+            alias = aliases[0]
+            plan, cost, rows = self._best_access_path(
+                alias_tables[alias], alias, local[alias], compile_bool,
+                required[alias])
+            if multi:
+                raise PlanError("multi-alias predicate with one table")
+            return plan, cost, rows
+
+        orders = (itertools.permutations(aliases)
+                  if len(aliases) <= 4 else [tuple(aliases)])
+        best = None
+        for order in orders:
+            try:
+                planned = self._plan_join_order(
+                    list(order), alias_tables, local, joins, multi,
+                    compile_bool, resolve, required)
+            except PlanError:
+                continue
+            if best is None or planned[1] < best[1]:
+                best = planned
+        if best is None:
+            raise PlanError("no feasible join order")
+        return best
+
+    def _plan_join_order(self, order, alias_tables, local, joins, multi,
+                         compile_bool, resolve, required):
+        first = order[0]
+        plan, cost, rows = self._best_access_path(
+            alias_tables[first], first, local[first], compile_bool,
+            required[first])
+        bound = {first}
+        for alias in order[1:]:
+            edge = [(la, lc, ra, rc) for la, lc, ra, rc in joins
+                    if (la in bound and ra == alias)
+                    or (ra in bound and la == alias)]
+            plan, cost, rows = self._join_step(
+                plan, cost, rows, bound, alias, alias_tables, local,
+                edge, compile_bool, resolve, required)
+            bound.add(alias)
+        remaining = [m for m in multi]
+        if remaining:
+            combined = And(tuple(remaining)) if len(remaining) > 1 else remaining[0]
+            predicate = compile_bool(combined)
+            filtered = _FilterWrap(plan, predicate)
+            filtered.est_rows = rows * 0.5
+            filtered.est_cost = cost + rows * CPU_OPERATOR_COST
+            plan, rows = filtered, rows * 0.5
+            cost += rows * CPU_OPERATOR_COST
+        return plan, cost, rows
+
+    def _join_step(self, outer_plan, outer_cost, outer_rows, bound, alias,
+                   alias_tables, local, edge, compile_bool, resolve, required):
+        inner_table = alias_tables[alias]
+        inner_rows_total = self._row_count(inner_table)
+        inner_filters = local[alias]
+        if not edge:
+            # Cartesian product (never produced by the translator, but
+            # legal SQL): block nested loop.
+            inner_plan, inner_cost, inner_rows = self._best_access_path(
+                inner_table, alias, inner_filters, compile_bool,
+                required[alias])
+            join = NestedLoopJoin(outer_plan, inner_plan)
+            rows = outer_rows * inner_rows
+            cost = (outer_cost + inner_cost
+                    + outer_rows * inner_rows * CPU_OPERATOR_COST)
+            join.est_rows, join.est_cost = rows, cost
+            return join, cost, rows
+
+        # Join selectivity from the first edge's key distinctness.
+        la, lc, ra, rc = edge[0]
+        if la in bound:
+            outer_alias, outer_col, inner_col = la, lc, rc
+        else:
+            outer_alias, outer_col, inner_col = ra, rc, lc
+        inner_stats = self._column_stats(inner_table.name, inner_col)
+        outer_stats = self._column_stats(alias_tables[outer_alias].name, outer_col)
+        distinct = max(
+            inner_stats.n_distinct if inner_stats else 0,
+            outer_stats.n_distinct if outer_stats else 0,
+            1)
+        local_sel = 1.0
+        for expr in inner_filters:
+            local_sel *= self._conjunct_selectivity(inner_table, expr)
+        join_rows = max(
+            outer_rows * inner_rows_total * local_sel / distinct, 0.0)
+
+        candidates = []
+
+        # Hash join: build on inner access path, probe outer.
+        inner_plan, inner_cost, inner_rows = self._best_access_path(
+            inner_table, alias, inner_filters, compile_bool, required[alias])
+        build_keys = [compile_scalar(ColumnRef(alias, inner_col), resolve)]
+        probe_keys = [compile_scalar(ColumnRef(outer_alias, outer_col), resolve)]
+        residual = self._edge_residual(edge[1:], compile_bool)
+        hash_plan = HashJoin(inner_plan, outer_plan, build_keys, probe_keys,
+                             residual)
+        hash_cost = (outer_cost + inner_cost
+                     + (inner_rows + outer_rows) * HASH_TUPLE_COST)
+        hash_plan.est_rows, hash_plan.est_cost = join_rows, hash_cost
+        candidates.append((hash_plan, hash_cost))
+
+        # Index nested loop join: index on inner join column.
+        for index in self._indexes_on(inner_table.name):
+            if index.key_columns[0] != inner_col:
+                continue
+            covering = index.covers(required[alias], inner_table)
+            matches_per_probe = max(
+                inner_rows_total / max(
+                    inner_stats.n_distinct if inner_stats else inner_rows_total, 1),
+                0.0)
+            per_probe = (index.height(inner_table) * RANDOM_PAGE_COST
+                         + matches_per_probe * CPU_TUPLE_COST)
+            if not covering:
+                per_probe += matches_per_probe * RANDOM_PAGE_COST
+            inlj_cost = outer_cost + outer_rows * per_probe
+            if inlj_cost >= hash_cost and inlj_cost >= candidates[0][1]:
+                continue
+            residual_filters = list(inner_filters)
+            inner_residual = None
+            if residual_filters:
+                combined = (And(tuple(residual_filters))
+                            if len(residual_filters) > 1 else residual_filters[0])
+                inner_residual = compile_bool(combined)
+            eq_exprs = [compile_scalar(ColumnRef(outer_alias, outer_col), resolve)]
+            seek = IndexSeek(index, inner_table.name, alias, eq_exprs,
+                             residual=inner_residual, covering=covering)
+            seek.est_rows = matches_per_probe
+            inlj = IndexNestedLoopJoin(outer_plan, seek)
+            inlj.est_rows, inlj.est_cost = join_rows, inlj_cost
+            candidates.append((inlj, inlj_cost))
+
+        plan, cost = min(candidates, key=lambda c: c[1])
+        return plan, cost, join_rows
+
+    @staticmethod
+    def _edge_residual(extra_edges, compile_bool):
+        if not extra_edges:
+            return None
+        parts = tuple(
+            Comparison(ColumnRef(la, lc), ComparisonOp.EQ, ColumnRef(ra, rc))
+            for la, lc, ra, rc in extra_edges)
+        return compile_bool(And(parts) if len(parts) > 1 else parts[0])
+
+
+class _FilterWrap(PlanNode):
+    """Residual filter over an environment stream."""
+
+    def __init__(self, child: PlanNode, predicate):
+        self.child = child
+        self.predicate = predicate
+
+    def label(self) -> str:
+        return "Filter"
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def execute(self, runtime: Runtime):
+        predicate = self.predicate
+        for env in self.child.execute(runtime):
+            runtime.counter.charge_operations(1)
+            if predicate(env):
+                yield env

@@ -1,0 +1,61 @@
+"""SQL value types and their storage widths.
+
+Widths drive the page model: a row's byte width is the sum of its column
+widths (plus a per-row overhead), and a table's page count is derived
+from that. For VARCHAR the declared width is an *average*, normally
+refined from statistics.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..xsd import BaseType
+
+
+class SQLType(enum.Enum):
+    INTEGER = "INTEGER"
+    DECIMAL = "DECIMAL"
+    VARCHAR = "VARCHAR"
+    DATE = "DATE"
+    BOOLEAN = "BOOLEAN"
+
+    @property
+    def default_width(self) -> int:
+        """Average stored byte width of one value."""
+        return {
+            SQLType.INTEGER: 4,
+            SQLType.DECIMAL: 8,
+            SQLType.VARCHAR: 24,
+            SQLType.DATE: 4,
+            SQLType.BOOLEAN: 1,
+        }[self]
+
+    @classmethod
+    def from_base_type(cls, base: BaseType) -> "SQLType":
+        return {
+            BaseType.STRING: cls.VARCHAR,
+            BaseType.INTEGER: cls.INTEGER,
+            BaseType.DECIMAL: cls.DECIMAL,
+            BaseType.DATE: cls.DATE,
+            BaseType.BOOLEAN: cls.BOOLEAN,
+        }[base]
+
+    def coerce(self, value):
+        """Convert a string (shredded XML text) to the Python value."""
+        if value is None:
+            return None
+        if self == SQLType.INTEGER:
+            return int(str(value).strip())
+        if self == SQLType.DECIMAL:
+            return float(str(value).strip())
+        if self == SQLType.BOOLEAN:
+            return str(value).strip() in ("true", "1")
+        return str(value)
+
+
+# Storage model constants (textbook defaults).
+PAGE_SIZE = 8192
+ROW_OVERHEAD = 12       # header + null bitmap per stored row
+INDEX_ENTRY_OVERHEAD = 8  # pointer + entry header per index entry
+PAGE_FILL_FACTOR = 0.7  # usable fraction of a page

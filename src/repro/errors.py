@@ -1,0 +1,90 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises subclasses of :class:`ReproError` so callers can
+catch all library failures with one handler while still being able to
+distinguish parse errors from engine errors, etc.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class XMLParseError(ReproError):
+    """Malformed XML text.
+
+    Carries the 1-based ``line`` and ``column`` of the offending input
+    position when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class XSDError(ReproError):
+    """Malformed or unsupported XSD/DTD schema document."""
+
+
+class SchemaTreeError(ReproError):
+    """Invalid schema-tree structure or annotation."""
+
+
+class ValidationError(ReproError):
+    """XML instance does not conform to its schema tree."""
+
+
+class XPathError(ReproError):
+    """Malformed or unsupported XPath expression."""
+
+
+class SQLError(ReproError):
+    """Base class for SQL layer errors."""
+
+
+class SQLParseError(SQLError):
+    """Malformed SQL text."""
+
+
+class CatalogError(SQLError):
+    """Unknown/duplicate table, column, or index."""
+
+
+class PlanError(SQLError):
+    """The optimizer could not build a plan for a statement."""
+
+
+class ExecutionError(SQLError):
+    """Runtime failure while executing a plan."""
+
+
+class MappingError(ReproError):
+    """Invalid XML-to-relational mapping or transformation."""
+
+
+class TransformError(MappingError):
+    """A schema transformation is not applicable at the requested node."""
+
+
+class ShreddingError(MappingError):
+    """A document cannot be shredded under the given mapping."""
+
+
+class TranslationError(ReproError):
+    """An XPath query cannot be translated to SQL under a mapping."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload specification."""
+
+
+class SearchError(ReproError):
+    """Design-search failure (e.g. no feasible configuration)."""

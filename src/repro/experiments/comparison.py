@@ -1,0 +1,133 @@
+"""Figs. 4, 5, 6 — Greedy vs. Naive-Greedy vs. Two-Step.
+
+One run per (workload, algorithm) yields all three figures' data:
+
+* Fig. 4: workload execution cost of the recommended design, measured on
+  loaded data and normalized to the tuned hybrid-inlining baseline;
+* Fig. 5: advisor running time, normalized to Two-Step;
+* Fig. 6: number of transformations searched.
+
+Mirroring the paper, Naive-Greedy is only run on the smaller workloads
+(it "did not stop after five days" on the 20-query DBLP workloads; here
+it is merely orders of magnitude slower, so large-workload naive runs
+are skipped by default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..search import DesignResult, GreedySearch, NaiveGreedySearch, TwoStepSearch
+from ..workload import Workload
+from .harness import (Baseline, DatasetBundle, measure_design,
+                      tuned_hybrid_baseline)
+from .reporting import format_series
+
+ALGORITHMS = ("greedy", "naive-greedy", "two-step")
+
+
+@dataclass
+class AlgorithmRun:
+    """One (algorithm, workload) cell of the comparison."""
+
+    algorithm: str
+    workload_name: str
+    result: DesignResult
+    measured_cost: float
+    normalized_cost: float     # vs. tuned hybrid inlining (Fig. 4)
+    wall_time: float
+    transformations: int
+
+
+@dataclass
+class ComparisonResult:
+    bundle_name: str
+    runs: list[AlgorithmRun] = field(default_factory=list)
+    baselines: dict[str, Baseline] = field(default_factory=dict)
+
+    def by_algorithm(self, algorithm: str) -> dict[str, AlgorithmRun]:
+        return {r.workload_name: r for r in self.runs
+                if r.algorithm == algorithm}
+
+    # -- the three figures -------------------------------------------------
+    def fig4(self) -> str:
+        series = {}
+        for algorithm in ALGORITHMS:
+            cells = self.by_algorithm(algorithm)
+            if cells:
+                series[algorithm] = {
+                    name: run.normalized_cost
+                    for name, run in cells.items()}
+        return format_series(
+            f"Fig. 4 ({self.bundle_name}) — execution cost, normalized to "
+            f"hybrid inlining", "workload", series)
+
+    def fig5(self) -> str:
+        twostep = self.by_algorithm("two-step")
+        series = {}
+        for algorithm in ALGORITHMS:
+            cells = self.by_algorithm(algorithm)
+            values = {}
+            for name, run in cells.items():
+                reference = twostep.get(name)
+                if reference and reference.wall_time > 0:
+                    values[name] = run.wall_time / reference.wall_time
+            if values:
+                series[algorithm] = values
+        return format_series(
+            f"Fig. 5 ({self.bundle_name}) — search time, normalized to "
+            f"Two-Step", "workload", series)
+
+    def fig6(self) -> str:
+        series = {}
+        for algorithm in ("greedy", "naive-greedy"):
+            cells = self.by_algorithm(algorithm)
+            if cells:
+                series[algorithm] = {
+                    name: float(run.transformations)
+                    for name, run in cells.items()}
+        return format_series(
+            f"Fig. 6 ({self.bundle_name}) — transformations searched",
+            "workload", series)
+
+
+def _make_search(algorithm: str, bundle: DatasetBundle,
+                 workload: Workload, naive_max_rounds: int):
+    common = dict(storage_bound=bundle.storage_bound)
+    if algorithm == "greedy":
+        return GreedySearch(bundle.tree, workload, bundle.stats, **common)
+    if algorithm == "naive-greedy":
+        return NaiveGreedySearch(bundle.tree, workload, bundle.stats,
+                                 max_rounds=naive_max_rounds, **common)
+    if algorithm == "two-step":
+        return TwoStepSearch(bundle.tree, workload, bundle.stats, **common)
+    raise ValueError(f"unknown algorithm {algorithm!r}")
+
+
+def compare_algorithms(bundle: DatasetBundle, workloads: list[Workload],
+                       algorithms: tuple[str, ...] = ALGORITHMS,
+                       naive_max_queries: int = 10,
+                       naive_max_rounds: int = 6) -> ComparisonResult:
+    """Run the algorithms on each workload and measure their designs."""
+    out = ComparisonResult(bundle_name=bundle.name)
+    for workload in workloads:
+        baseline = tuned_hybrid_baseline(bundle, workload)
+        out.baselines[workload.name] = baseline
+        for algorithm in algorithms:
+            if algorithm == "naive-greedy" and \
+                    len(workload) > naive_max_queries:
+                continue  # the paper could not finish these either
+            search = _make_search(algorithm, bundle, workload,
+                                  naive_max_rounds)
+            result = search.run()
+            measured = measure_design(result, bundle)
+            out.runs.append(AlgorithmRun(
+                algorithm=algorithm,
+                workload_name=workload.name,
+                result=result,
+                measured_cost=measured,
+                normalized_cost=measured / max(baseline.measured_cost, 1e-9),
+                wall_time=result.counters.wall_time,
+                transformations=result.counters.transformations_searched,
+            ))
+    return out

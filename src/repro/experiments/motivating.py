@@ -1,0 +1,90 @@
+"""E0 — the Section 1.1 motivating example.
+
+Mapping 1 = hybrid inlining; Mapping 2 = Mapping 1 plus repetition split
+of the first five authors into the ``inproc`` table. The SIGMOD-papers
+query runs under both mappings, each with (a) no physical design beyond
+the primary keys and (b) the advisor's recommended design.
+
+Paper numbers: tuned, Mapping 2 beats Mapping 1 by ~20x (0.25 s vs
+5.1 s); untuned, the ordering *reverses* (27 s vs 21 s) — the fact that
+makes logical-then-physical design suboptimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mapping import derive_schema, hybrid_inlining
+from ..physdesign import IndexTuningAdvisor
+from ..search import MappingEvaluator
+from ..translate import translate_xpath
+from ..workload import Workload
+from .harness import DatasetBundle, measure_workload, realize
+
+SIGMOD_QUERY = ('/dblp/inproceedings[booktitle = "SIGMOD CONFERENCE"]'
+                '/(title | year | author)')
+
+
+@dataclass
+class MotivatingResult:
+    mapping1_untuned: float
+    mapping2_untuned: float
+    mapping1_tuned: float
+    mapping2_tuned: float
+
+    @property
+    def tuned_speedup(self) -> float:
+        """How much Mapping 2 wins by, with physical design."""
+        return self.mapping1_tuned / self.mapping2_tuned
+
+    @property
+    def ordering_reverses_untuned(self) -> bool:
+        return self.mapping2_untuned >= self.mapping1_untuned
+
+    def rows(self) -> list[list]:
+        return [
+            ["Mapping 1 (hybrid)", self.mapping1_untuned,
+             self.mapping1_tuned],
+            ["Mapping 2 (rep-split 5)", self.mapping2_untuned,
+             self.mapping2_tuned],
+        ]
+
+
+def run_motivating_example(bundle: DatasetBundle | None = None,
+                           scale: int = 4000) -> MotivatingResult:
+    bundle = bundle or DatasetBundle.dblp(scale=scale)
+    tree = bundle.tree
+    workload = Workload.from_strings("motivating", [SIGMOD_QUERY])
+
+    mapping1 = hybrid_inlining(tree)
+    author = tree.find_tag_by_path(("dblp", "inproceedings", "author"))
+    rep = tree.parent(author)
+    split_count = bundle.stats.suggest_split_count(rep.node_id,
+                                                   cmax=5, coverage=0.99) or 5
+    mapping2 = mapping1.with_split(rep.node_id, split_count)
+
+    results: dict[str, dict[str, float]] = {}
+    evaluator = MappingEvaluator(workload, bundle.stats,
+                                 bundle.storage_bound)
+    measured: dict[tuple[str, str], float] = {}
+    for label, mapping in (("m1", mapping1), ("m2", mapping2)):
+        evaluated = evaluator.evaluate(mapping)
+        assert evaluated is not None
+        # Untuned: data + primary keys only.
+        from ..engine import Database
+        from ..mapping import load_documents
+        db = Database()
+        load_documents(db, evaluated.schema, bundle.docs)
+        measured[(label, "untuned")] = measure_workload(
+            db, evaluated.sql_queries)
+        # Tuned: the advisor's recommendation, materialized.
+        tuned_db = realize(evaluated.schema,
+                           evaluated.tuning.configuration, bundle.docs)
+        measured[(label, "tuned")] = measure_workload(
+            tuned_db, evaluated.sql_queries)
+    return MotivatingResult(
+        mapping1_untuned=measured[("m1", "untuned")],
+        mapping2_untuned=measured[("m2", "untuned")],
+        mapping1_tuned=measured[("m1", "tuned")],
+        mapping2_tuned=measured[("m2", "tuned")],
+    )

@@ -1,0 +1,89 @@
+"""Ablation: choice of the repetition-split count k (paper Section 4.6).
+
+The paper: "a good k is the smallest k such that most instances of the
+element have cardinality smaller than k ... For this specific data set,
+we find that splitting the first five authors achieves the best balance
+between performance and space."
+
+This driver sweeps k over the DBLP author repetition for the motivating
+query, measuring executed cost and storage, and reports where the
+suggested k (from :meth:`CollectedStats.suggest_split_count`) lands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine import Database
+from ..mapping import derive_schema, hybrid_inlining, load_documents
+from ..search import MappingEvaluator
+from ..workload import Workload
+from .harness import DatasetBundle, measure_workload, realize
+
+SWEEP_QUERY = ('/dblp/inproceedings[booktitle = "SIGMOD CONFERENCE"]'
+               '/(title | year | author)')
+
+
+@dataclass
+class SplitCountPoint:
+    k: int
+    measured_cost: float
+    data_bytes: int
+
+
+@dataclass
+class SplitCountSweep:
+    points: list[SplitCountPoint]
+    suggested_k: int
+    baseline_cost: float      # k = 0, i.e. no repetition split
+    baseline_bytes: int
+
+    def best_k(self) -> int:
+        return min(self.points, key=lambda p: p.measured_cost).k
+
+    def point(self, k: int) -> SplitCountPoint:
+        for p in self.points:
+            if p.k == k:
+                return p
+        raise KeyError(k)
+
+    def rows(self) -> list[list]:
+        out = [[0, self.baseline_cost, f"{self.baseline_bytes / 1024:.0f} KB",
+                ""]]
+        for p in self.points:
+            mark = "<- suggested" if p.k == self.suggested_k else ""
+            out.append([p.k, p.measured_cost,
+                        f"{p.data_bytes / 1024:.0f} KB", mark])
+        return out
+
+
+def run_split_count_sweep(bundle: DatasetBundle | None = None,
+                          ks: range = range(1, 11)) -> SplitCountSweep:
+    bundle = bundle or DatasetBundle.dblp()
+    tree = bundle.tree
+    workload = Workload.from_strings("sweep", [SWEEP_QUERY])
+    author = tree.find_tag_by_path(("dblp", "inproceedings", "author"))
+    rep = tree.parent(author)
+    suggested = bundle.stats.suggest_split_count(rep.node_id, cmax=max(ks),
+                                                 coverage=0.99) or 5
+    evaluator = MappingEvaluator(workload, bundle.stats,
+                                 bundle.storage_bound)
+    base_mapping = hybrid_inlining(tree)
+
+    def measure(mapping) -> tuple[float, int]:
+        evaluated = evaluator.evaluate(mapping)
+        assert evaluated is not None
+        db = realize(evaluated.schema, evaluated.tuning.configuration,
+                     bundle.docs)
+        cost = measure_workload(db, evaluated.sql_queries)
+        return cost, db.catalog.total_data_bytes()
+
+    baseline_cost, baseline_bytes = measure(base_mapping)
+    points = []
+    for k in ks:
+        cost, size = measure(base_mapping.with_split(rep.node_id, k))
+        points.append(SplitCountPoint(k=k, measured_cost=cost,
+                                      data_bytes=size))
+    return SplitCountSweep(points=points, suggested_k=suggested,
+                           baseline_cost=baseline_cost,
+                           baseline_bytes=baseline_bytes)

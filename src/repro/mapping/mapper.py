@@ -1,0 +1,380 @@
+"""Derive the relational schema from a mapping (paper Section 2).
+
+Rules implemented:
+
+1. every annotated node maps to a table with ``ID`` (primary key) and
+   ``PID`` (foreign key to the parent region's table);
+2. every leaf descendant reached without crossing another annotated node
+   maps to a column of that table;
+3. nodes sharing an annotation map to the same table (type merge);
+4. a repetition-split count ``k`` on ``E*`` adds columns ``E_1 .. E_k``
+   to the owner and keeps the overflow in ``E``'s own table;
+5. a union distribution partitions the owner's table horizontally; each
+   partition drops the columns that are statically absent under its
+   condition (the "choice group semantics" of Section 3.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..engine import SQLType
+from ..errors import MappingError
+from ..xsd import NodeKind, SchemaNode, SchemaTree
+from .model import Mapping, UnionDistribution
+from .relschema import (BranchCondition, ColumnSpec, ID_COLUMN, LeafStorage,
+                        MappedSchema, PartitionSpec, PID_COLUMN,
+                        PresenceCondition, TableGroup)
+
+
+def derive_schema(mapping: Mapping) -> MappedSchema:
+    """Map a validated :class:`Mapping` to its relational schema."""
+    mapping.validate()
+    return _Mapper(mapping).run()
+
+
+class _Mapper:
+    def __init__(self, mapping: Mapping):
+        self.mapping = mapping
+        self.tree: SchemaTree = mapping.tree
+        self.annotation_map = mapping.annotation_map
+        self.split_map = mapping.split_map
+        self.leaf_storage: dict[int, LeafStorage] = {}
+        self.owner_of: dict[int, int] = {}
+        self.column_of_leaf: dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> MappedSchema:
+        groups: dict[str, TableGroup] = {}
+        by_annotation: dict[str, list[int]] = {}
+        for node_id, annotation in self.mapping.annotations:
+            by_annotation.setdefault(annotation, []).append(node_id)
+        for annotation, owner_ids in sorted(by_annotation.items()):
+            groups[annotation] = self._build_group(annotation, owner_ids)
+        self._record_owners()
+        return MappedSchema(self.mapping, groups, self.leaf_storage,
+                            self.owner_of, self.column_of_leaf)
+
+    def _record_owners(self) -> None:
+        for node in self.tree.iter_nodes():
+            if node.kind == NodeKind.TAG:
+                self.owner_of[node.node_id] = self.mapping.owner_of(node.node_id)
+
+    # ------------------------------------------------------------------
+    def _build_group(self, annotation: str, owner_ids: list[int]) -> TableGroup:
+        tree = self.tree
+        columns: list[ColumnSpec] = [
+            ColumnSpec(ID_COLUMN, None, SQLType.INTEGER, nullable=False),
+            ColumnSpec(PID_COLUMN, None, SQLType.INTEGER, nullable=True),
+        ]
+        # An annotated leaf element's table stores the element value in a
+        # column named after the element (e.g. author(ID, PID, author)).
+        primary = owner_ids[0]
+        primary_node = tree.node(primary)
+        if tree.is_leaf_element(primary_node):
+            sql_type = SQLType.from_base_type(tree.leaf_base_type(primary_node))
+            used = {ID_COLUMN, PID_COLUMN}
+            value_name = self._unique_name(primary_node.name, used)
+            used.add(value_name)
+            columns.append(ColumnSpec(value_name, primary,
+                                      sql_type, nullable=False))
+            for owner in owner_ids:
+                storage = self.leaf_storage.setdefault(
+                    owner, LeafStorage(leaf_id=owner))
+                storage.own_annotation = annotation
+                storage.value_column = value_name
+            # Attributes of an annotated leaf element become columns of
+            # its own table. Type-merged owners have equivalent subtrees,
+            # so attributes correspond positionally.
+            owner_attributes = [tree.attributes_of(tree.node(o))
+                                for o in owner_ids]
+            for position, p_attr in enumerate(owner_attributes[0]):
+                attr_name = self._unique_name(p_attr.name, used)
+                used.add(attr_name)
+                attr_type = SQLType.from_base_type(tree.leaf_base_type(p_attr))
+                columns.append(ColumnSpec(attr_name, p_attr.node_id,
+                                          attr_type,
+                                          nullable=p_attr.min_occurs == 0))
+                for attrs in owner_attributes:
+                    attr = attrs[position]
+                    storage = self.leaf_storage.setdefault(
+                        attr.node_id, LeafStorage(leaf_id=attr.node_id))
+                    storage.inline_annotation = annotation
+                    storage.column = attr_name
+                    self.column_of_leaf[attr.node_id] = attr_name
+            parent_annotations = set()
+            for owner in owner_ids:
+                parent_owner = self.mapping.parent_owner_of(owner)
+                if parent_owner is not None:
+                    parent_annotations.add(self.annotation_map[parent_owner])
+            parent_annotation = (next(iter(parent_annotations))
+                                 if len(parent_annotations) == 1 else None)
+            return TableGroup(
+                annotation=annotation, owner_ids=tuple(owner_ids),
+                columns=columns,
+                partitions=[PartitionSpec(
+                    annotation, (), tuple(c.name for c in columns))],
+                parent_annotation=parent_annotation)
+
+        # Column layout must be identical across type-merged owners
+        # (their subtrees are structurally equivalent, so collecting from
+        # the first owner and then registering storage for each suffices).
+        collected = self._collect_columns(primary)
+        used_names = {ID_COLUMN, PID_COLUMN}
+        renamed: dict[int, str] = {}
+        for leaf_id, name, sql_type, nullable, occurrence in collected:
+            final = self._unique_name(name, used_names)
+            used_names.add(final)
+            renamed[self._column_key(leaf_id, occurrence)] = final
+            columns.append(ColumnSpec(final, leaf_id, sql_type,
+                                      nullable, occurrence))
+        for owner in owner_ids:
+            self._register_storage(owner, annotation, renamed,
+                                   primary_owner=primary)
+
+        parent_annotations = set()
+        for owner in owner_ids:
+            parent_owner = self.mapping.parent_owner_of(owner)
+            if parent_owner is not None:
+                parent_annotations.add(self.annotation_map[parent_owner])
+        parent_annotation = (next(iter(parent_annotations))
+                             if len(parent_annotations) == 1 else None)
+
+        partitions = self._build_partitions(annotation, owner_ids, columns)
+        return TableGroup(annotation=annotation,
+                          owner_ids=tuple(owner_ids),
+                          columns=columns,
+                          partitions=partitions,
+                          parent_annotation=parent_annotation)
+
+    @staticmethod
+    def _column_key(leaf_id: int, occurrence: int | None) -> tuple:
+        return (leaf_id, occurrence)
+
+    @staticmethod
+    def _unique_name(name: str, used: set[str]) -> str:
+        if name not in used:
+            return name
+        for i in itertools.count(2):
+            candidate = f"{name}_{i}"
+            if candidate not in used:
+                return candidate
+        raise AssertionError  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    def _collect_columns(self, owner_id: int):
+        """Walk the owner's inline region, yielding column descriptors.
+
+        Returns (leaf_id, proposed_name, sql_type, nullable, occurrence)
+        tuples relative to the *primary* owner; type-merged owners have
+        isomorphic subtrees so positional correspondence holds.
+        """
+        tree = self.tree
+        out: list[tuple] = []
+
+        def walk(node: SchemaNode, nullable: bool, prefix: str) -> None:
+            for child in tree.children(node):
+                if child.kind == NodeKind.SIMPLE:
+                    continue
+                if child.kind == NodeKind.ATTRIBUTE:
+                    sql_type = SQLType.from_base_type(
+                        tree.leaf_base_type(child))
+                    out.append((child.node_id, prefix + child.name,
+                                sql_type,
+                                nullable or child.min_occurs == 0, None))
+                    continue
+                if child.kind == NodeKind.TAG:
+                    if child.node_id in self.annotation_map:
+                        continue  # separate table; boundary
+                    if tree.is_leaf_element(child):
+                        sql_type = SQLType.from_base_type(
+                            tree.leaf_base_type(child))
+                        out.append((child.node_id, prefix + child.name,
+                                    sql_type, nullable, None))
+                        for attr in tree.attributes_of(child):
+                            attr_type = SQLType.from_base_type(
+                                tree.leaf_base_type(attr))
+                            out.append((attr.node_id,
+                                        f"{prefix}{child.name}_{attr.name}",
+                                        attr_type, True, None))
+                    else:
+                        walk(child, nullable, prefix + child.name + "_")
+                elif child.kind == NodeKind.OPTION:
+                    walk_wrap(child, True, prefix)
+                elif child.kind == NodeKind.CHOICE:
+                    walk_wrap(child, True, prefix)
+                elif child.kind == NodeKind.SEQUENCE:
+                    walk_wrap(child, nullable, prefix)
+                elif child.kind == NodeKind.REPETITION:
+                    split = self.split_map.get(child.node_id)
+                    if split is None:
+                        continue  # child is annotated; separate table
+                    leaf = tree.children(child)[0]
+                    sql_type = SQLType.from_base_type(tree.leaf_base_type(leaf))
+                    for occurrence in range(1, split + 1):
+                        out.append((leaf.node_id,
+                                    f"{prefix}{leaf.name}_{occurrence}",
+                                    sql_type, True, occurrence))
+
+        def walk_wrap(node: SchemaNode, nullable: bool, prefix: str) -> None:
+            walk(node, nullable, prefix)
+
+        walk(tree.node(owner_id), False, "")
+        return out
+
+    # ------------------------------------------------------------------
+    def _register_storage(self, owner_id: int, annotation: str,
+                          renamed: dict, primary_owner: int) -> None:
+        """Fill leaf_storage entries for one owner's inline region.
+
+        For type-merged owners the column names come from the primary
+        owner's walk, matched positionally via a parallel traversal.
+        """
+        tree = self.tree
+        primary_leaves = self._region_leaves(primary_owner)
+        owner_leaves = self._region_leaves(owner_id)
+        if len(primary_leaves) != len(owner_leaves):  # pragma: no cover
+            raise MappingError(
+                f"type-merged owners of {annotation!r} have diverging shapes")
+        for (p_leaf, p_occurrence), (o_leaf, _) in zip(primary_leaves,
+                                                       owner_leaves):
+            column = renamed[self._column_key(p_leaf, p_occurrence)]
+            storage = self.leaf_storage.setdefault(
+                o_leaf, LeafStorage(leaf_id=o_leaf))
+            storage.inline_annotation = annotation
+            if p_occurrence is None:
+                storage.column = column
+                self.column_of_leaf[o_leaf] = column
+            else:
+                storage.split_columns = storage.split_columns + (column,)
+
+    def _region_leaves(self, owner_id: int) -> list[tuple[int, int | None]]:
+        """(leaf_id, occurrence) pairs in region walk order."""
+        tree = self.tree
+        out: list[tuple[int, int | None]] = []
+
+        def walk(node: SchemaNode) -> None:
+            for child in tree.children(node):
+                if child.kind == NodeKind.SIMPLE:
+                    continue
+                if child.kind == NodeKind.ATTRIBUTE:
+                    out.append((child.node_id, None))
+                    continue
+                if child.kind == NodeKind.TAG:
+                    if child.node_id in self.annotation_map:
+                        continue
+                    if tree.is_leaf_element(child):
+                        out.append((child.node_id, None))
+                        for attr in tree.attributes_of(child):
+                            out.append((attr.node_id, None))
+                    else:
+                        walk(child)
+                elif child.kind == NodeKind.REPETITION:
+                    split = self.split_map.get(child.node_id)
+                    if split is None:
+                        continue
+                    leaf = tree.children(child)[0]
+                    for occurrence in range(1, split + 1):
+                        out.append((leaf.node_id, occurrence))
+                else:
+                    walk(child)
+
+        walk(tree.node(owner_id))
+        return out
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def _build_partitions(self, annotation: str, owner_ids: list[int],
+                          columns: list[ColumnSpec]) -> list[PartitionSpec]:
+        tree = self.tree
+        owner = owner_ids[0]
+        dists = [d for d in self.mapping.distributions
+                 if self.mapping.distribution_owner(d) == owner]
+        all_names = tuple(c.name for c in columns)
+        if not dists:
+            return [PartitionSpec(annotation, (), all_names)]
+
+        per_dist: list[list[tuple[str, PartitionCondition]]] = []
+        for dist in sorted(dists, key=lambda d: sorted(d.nodes())):
+            per_dist.append(self._partition_options(dist))
+
+        partitions: list[PartitionSpec] = []
+        for combo in itertools.product(*per_dist):
+            suffix = "_".join(tag for tag, _ in combo)
+            conditions = tuple(cond for _, cond in combo)
+            names = self._partition_columns(columns, conditions)
+            partitions.append(PartitionSpec(
+                table_name=f"{annotation}_{suffix}",
+                conditions=conditions,
+                column_names=names))
+        return partitions
+
+    def _partition_options(self, dist: UnionDistribution):
+        tree = self.tree
+        options: list[tuple[str, object]] = []
+        if dist.choice_id is not None:
+            choice = tree.node(dist.choice_id)
+            for index, branch in enumerate(tree.children(choice)):
+                options.append((self._branch_tag(branch),
+                                BranchCondition(dist.choice_id, index)))
+        else:
+            names = [self._branch_tag(tree.node(oid))
+                     for oid in sorted(dist.optional_ids)]
+            label = "_".join(names)[:40]
+            options.append((f"has_{label}",
+                            PresenceCondition(dist.optional_ids, True)))
+            options.append((f"no_{label}",
+                            PresenceCondition(dist.optional_ids, False)))
+        return options
+
+    def _branch_tag(self, node: SchemaNode) -> str:
+        """Short label for a choice branch / optional node."""
+        if node.kind == NodeKind.TAG:
+            return node.name
+        for child in self.tree.children(node):
+            label = self._branch_tag(child)
+            if label:
+                return label
+        return f"b{node.node_id}"
+
+    def _partition_columns(self, columns: list[ColumnSpec],
+                           conditions) -> tuple[str, ...]:
+        """Columns kept in a partition: drop statically absent leaves."""
+        absent: set[int] = set()
+        for condition in conditions:
+            if isinstance(condition, BranchCondition):
+                choice = self.tree.node(condition.choice_id)
+                for index, branch in enumerate(self.tree.children(choice)):
+                    if index != condition.branch_index:
+                        absent |= self._leaves_under(branch)
+            elif isinstance(condition, PresenceCondition) and not condition.present:
+                for optional_id in condition.optional_ids:
+                    absent |= self._leaves_under(self.tree.node(optional_id))
+        names = []
+        for spec in columns:
+            if spec.leaf_id is not None and spec.leaf_id in absent:
+                continue
+            names.append(spec.name)
+        return tuple(names)
+
+    def _leaves_under(self, node: SchemaNode) -> set[int]:
+        out: set[int] = set()
+
+        def walk(current: SchemaNode) -> None:
+            if current.kind == NodeKind.ATTRIBUTE:
+                out.add(current.node_id)
+                return
+            if current.kind == NodeKind.TAG:
+                if self.tree.is_leaf_element(current):
+                    out.add(current.node_id)
+                    for attr in self.tree.attributes_of(current):
+                        out.add(attr.node_id)
+                    return
+                if current.node_id in self.annotation_map:
+                    return
+            for child in self.tree.children(current):
+                walk(child)
+
+        walk(node)
+        return out

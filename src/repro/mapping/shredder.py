@@ -1,0 +1,288 @@
+"""Shred XML documents into relational rows under a mapping.
+
+Every element receives a globally unique integer ID in document order;
+annotated elements become rows (ID, PID, columns...), inlined leaves
+become column values in their owner's row, repetition-split leaves fill
+the ``name_1 .. name_k`` columns with the overflow going to the leaf's
+own table, and union-distributed owners are routed to the partition
+whose condition matches the instance's optional/choice signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ShreddingError
+from ..xmlkit import Document, Element
+from ..xsd import NodeKind, SchemaNode, SchemaTree
+from .relschema import (BranchCondition, MappedSchema, PartitionSpec,
+                        PresenceCondition, TableGroup)
+
+
+@dataclass
+class _DispatchEntry:
+    """How to handle one child tag inside a TAG node's content region."""
+
+    node: SchemaNode
+    optional_ids: frozenset[int]
+    choice_branch: tuple[int, int] | None  # (choice_id, branch_index)
+    kind: str  # 'annotated' | 'leaf' | 'split-leaf' | 'inline-complex'
+    column: str | None = None
+    split_columns: tuple[str, ...] = ()
+    overflow_annotation: str | None = None
+    overflow_value_column: str | None = None
+    # (attribute name, column) pairs for inlined leaf children whose
+    # attributes map into the owner's row.
+    attr_columns: tuple[tuple[str, str], ...] = ()
+
+
+@dataclass
+class _RowContext:
+    """State accumulated while filling one owner row."""
+
+    element_id: int
+    values: dict[str, object] = field(default_factory=dict)
+    present_optionals: set[int] = field(default_factory=set)
+    choices: dict[int, int] = field(default_factory=dict)
+    split_counts: dict[int, int] = field(default_factory=dict)
+
+
+class Shredder:
+    """Shreds documents according to one :class:`MappedSchema`."""
+
+    def __init__(self, schema: MappedSchema):
+        self.schema = schema
+        self.tree: SchemaTree = schema.tree
+        self._dispatch_cache: dict[int, dict[str, _DispatchEntry]] = {}
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    def shred(self, docs) -> dict[str, list[tuple]]:
+        """Shred one document or a list; returns rows per table name."""
+        if isinstance(docs, (Document, Element)):
+            docs = [docs]
+        rows: dict[str, list[tuple]] = {name: []
+                                        for name in self.schema.table_names}
+        for doc in docs:
+            root = doc.root if isinstance(doc, Document) else doc
+            schema_root = self.tree.root
+            if root.tag != schema_root.name:
+                raise ShreddingError(
+                    f"document root <{root.tag}> does not match schema "
+                    f"root <{schema_root.name}>")
+            self._shred_annotated(root, schema_root, parent_id=None,
+                                  rows=rows)
+        return rows
+
+    def reset_ids(self) -> None:
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    def _new_id(self) -> int:
+        element_id = self._next_id
+        self._next_id += 1
+        return element_id
+
+    def _shred_annotated(self, element: Element, node: SchemaNode,
+                         parent_id: int | None,
+                         rows: dict[str, list[tuple]]) -> None:
+        group = self._group_of(node)
+        ctx = _RowContext(element_id=self._new_id())
+        ctx.values["ID"] = ctx.element_id
+        ctx.values["PID"] = parent_id
+        self._apply_attributes(element, node, ctx)
+        if self.tree.is_leaf_element(node):
+            storage = self.schema.storage_of(node.node_id)
+            assert storage.value_column is not None
+            ctx.values[storage.value_column] = element.text
+        else:
+            self._fill_region(element, node, ctx, rows)
+        partition = self._route(group, ctx, node)
+        row = tuple(ctx.values.get(name) for name in partition.column_names)
+        rows[partition.table_name].append(row)
+
+    def _group_of(self, node: SchemaNode) -> TableGroup:
+        annotation = self.schema.mapping.annotation_of(node.node_id)
+        if annotation is None:
+            raise ShreddingError(
+                f"internal error: node #{node.node_id} is not annotated")
+        return self.schema.group(annotation)
+
+    # ------------------------------------------------------------------
+    def _fill_region(self, element: Element, node: SchemaNode,
+                     ctx: _RowContext, rows: dict[str, list[tuple]]) -> None:
+        dispatch = self._dispatch_for(node)
+        for child in element.children:
+            entry = dispatch.get(child.tag)
+            if entry is None:
+                raise ShreddingError(
+                    f"unexpected element <{child.tag}> under "
+                    f"<{element.tag}> for this mapping")
+            ctx.present_optionals |= entry.optional_ids
+            if entry.choice_branch is not None:
+                choice_id, branch = entry.choice_branch
+                ctx.choices[choice_id] = branch
+            if entry.kind == "annotated":
+                self._shred_annotated(child, entry.node, ctx.element_id, rows)
+            elif entry.kind == "leaf":
+                ctx.values[entry.column] = child.text
+                for attr_name, column in entry.attr_columns:
+                    if attr_name in child.attributes:
+                        ctx.values[column] = child.attributes[attr_name]
+            elif entry.kind == "split-leaf":
+                count = ctx.split_counts.get(entry.node.node_id, 0) + 1
+                ctx.split_counts[entry.node.node_id] = count
+                if count <= len(entry.split_columns):
+                    ctx.values[entry.split_columns[count - 1]] = child.text
+                else:
+                    overflow_group = self.schema.group(
+                        entry.overflow_annotation)
+                    partition = overflow_group.partitions[0]
+                    values = {"ID": self._new_id(), "PID": ctx.element_id,
+                              entry.overflow_value_column: child.text}
+                    rows[partition.table_name].append(tuple(
+                        values.get(name) for name in partition.column_names))
+            elif entry.kind == "inline-complex":
+                self._apply_attributes(child, entry.node, ctx)
+                self._fill_region(child, entry.node, ctx, rows)
+        # Values are stored as text; column typing happens at load time.
+
+    def _apply_attributes(self, element: Element, node: SchemaNode,
+                          ctx: _RowContext) -> None:
+        """Write the element's attribute values into the current row."""
+        for attr in self.tree.attributes_of(node):
+            column = self.schema.column_of_leaf.get(attr.node_id)
+            if column is None:
+                continue
+            value = element.attributes.get(attr.name)
+            if value is not None:
+                ctx.values[column] = value
+
+    # ------------------------------------------------------------------
+    def _dispatch_for(self, node: SchemaNode) -> dict[str, _DispatchEntry]:
+        cached = self._dispatch_cache.get(node.node_id)
+        if cached is not None:
+            return cached
+        dispatch: dict[str, _DispatchEntry] = {}
+        annotation_map = self.schema.mapping.annotation_map
+        split_map = self.schema.mapping.split_map
+        tree = self.tree
+
+        def walk(current: SchemaNode, optional_ids: frozenset[int],
+                 choice_branch) -> None:
+            for child in tree.children(current):
+                if child.kind == NodeKind.SIMPLE:
+                    continue
+                if child.kind == NodeKind.TAG:
+                    self._add_entry(dispatch, child, optional_ids,
+                                    choice_branch, annotation_map)
+                elif child.kind == NodeKind.OPTION:
+                    walk(child, optional_ids | {child.node_id}, choice_branch)
+                elif child.kind == NodeKind.CHOICE:
+                    for index, branch in enumerate(tree.children(child)):
+                        if branch.kind == NodeKind.TAG:
+                            self._add_entry(dispatch, branch, optional_ids,
+                                            (child.node_id, index),
+                                            annotation_map)
+                        else:
+                            walk_branch(branch, optional_ids,
+                                        (child.node_id, index))
+                elif child.kind == NodeKind.SEQUENCE:
+                    walk(child, optional_ids, choice_branch)
+                elif child.kind == NodeKind.REPETITION:
+                    leaf = tree.children(child)[0]
+                    split = split_map.get(child.node_id)
+                    if split is not None and tree.is_leaf_element(leaf):
+                        storage = self.schema.storage_of(leaf.node_id)
+                        overflow = self.schema.group(storage.own_annotation)
+                        dispatch[leaf.name] = _DispatchEntry(
+                            node=leaf, optional_ids=optional_ids,
+                            choice_branch=choice_branch, kind="split-leaf",
+                            split_columns=storage.split_columns,
+                            overflow_annotation=storage.own_annotation,
+                            overflow_value_column=storage.value_column)
+                    else:
+                        # The repeated element is annotated.
+                        self._add_entry(dispatch, leaf, optional_ids,
+                                        choice_branch, annotation_map)
+
+        def walk_branch(current: SchemaNode, optional_ids, choice_branch):
+            walk(current, optional_ids, choice_branch)
+
+        walk(node, frozenset(), None)
+        self._dispatch_cache[node.node_id] = dispatch
+        return dispatch
+
+    def _add_entry(self, dispatch, child: SchemaNode,
+                   optional_ids: frozenset[int], choice_branch,
+                   annotation_map: dict[int, str]) -> None:
+        tree = self.tree
+        attr_columns: tuple[tuple[str, str], ...] = ()
+        if child.node_id in annotation_map:
+            kind, column = "annotated", None
+        elif tree.is_leaf_element(child):
+            kind = "leaf"
+            column = self.schema.column_of_leaf.get(child.node_id)
+            if column is None:
+                raise ShreddingError(
+                    f"leaf #{child.node_id} <{child.name}> has no column")
+            attr_columns = tuple(
+                (attr.name, self.schema.column_of_leaf[attr.node_id])
+                for attr in tree.attributes_of(child)
+                if attr.node_id in self.schema.column_of_leaf)
+        else:
+            kind, column = "inline-complex", None
+        if child.name in dispatch:
+            raise ShreddingError(
+                f"ambiguous element name <{child.name}> in one content "
+                f"region; not supported by the shredder")
+        dispatch[child.name] = _DispatchEntry(
+            node=child, optional_ids=optional_ids,
+            choice_branch=choice_branch, kind=kind, column=column,
+            attr_columns=attr_columns)
+
+    # ------------------------------------------------------------------
+    def _route(self, group: TableGroup, ctx: _RowContext,
+               node: SchemaNode) -> PartitionSpec:
+        if len(group.partitions) == 1:
+            return group.partitions[0]
+        for partition in group.partitions:
+            if all(self._condition_holds(c, ctx)
+                   for c in partition.conditions):
+                return partition
+        raise ShreddingError(
+            f"no partition of {group.annotation!r} matches instance "
+            f"#{ctx.element_id} of <{node.name}>")
+
+    @staticmethod
+    def _condition_holds(condition, ctx: _RowContext) -> bool:
+        if isinstance(condition, BranchCondition):
+            return ctx.choices.get(condition.choice_id) == condition.branch_index
+        if isinstance(condition, PresenceCondition):
+            overlap = bool(ctx.present_optionals & condition.optional_ids)
+            return overlap == condition.present
+        raise ShreddingError(f"unknown condition {condition!r}")
+
+
+def load_documents(db, schema: MappedSchema, docs,
+                   analyze: bool = True) -> None:
+    """Shred documents and load (typed) rows into an engine database.
+
+    Tables are created from the mapped schema if absent.
+    """
+    from ..engine import Table  # local import to avoid cycles
+
+    existing = set(db.catalog.tables)
+    for table in schema.to_engine_tables():
+        if table.name not in existing:
+            db.register_table(table)
+    rows_by_table = Shredder(schema).shred(docs)
+    for table_name, rows in rows_by_table.items():
+        table = db.catalog.table(table_name)
+        coercers = [c.sql_type.coerce for c in table.columns]
+        typed = [tuple(coerce(v) for coerce, v in zip(coercers, row))
+                 for row in rows]
+        db.insert_rows(table_name, typed)
+    if analyze:
+        db.analyze()
+        db.build_primary_key_indexes()

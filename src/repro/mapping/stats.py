@@ -1,0 +1,400 @@
+"""Statistics: collect once at the finest granularity, derive everywhere.
+
+Paper Section 4.1: "The search always starts with a fully split schema
+... Such a schema allows statistics to be collected on the finest
+granularity. Later, any generated schema can be transformed from the
+fully split schema by only using merge transformations. Thus, the
+statistics of such schema can be accurately derived."
+
+We collect, per schema-tree node, directly from the XML data:
+
+* instance counts of every TAG node,
+* value distributions (:class:`~repro.engine.ColumnStats`) of every leaf,
+* per-REPETITION cardinality histograms (for repetition-split sizing,
+  Section 4.6),
+* per-TAG *joint* presence signatures over the optional/choice features
+  in its non-repeated region — exactly the statistic needed to size the
+  partitions of any (merged) implicit-union candidate exactly, which the
+  paper notes is hard to infer in the other direction.
+
+:func:`derive_table_stats` then produces engine ``TableStats`` for the
+tables of *any* mapping without touching the data again.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..engine import ColumnStats, TableStats
+from ..errors import MappingError
+from ..xmlkit import Document, Element
+from ..xsd import NodeKind, SchemaNode, SchemaTree
+from .relschema import (BranchCondition, MappedSchema, PresenceCondition)
+
+# Signature atoms: ("opt", option_id) and ("choice", choice_id, branch).
+Signature = frozenset
+
+
+@dataclass
+class CollectedStats:
+    """Finest-granularity statistics for one schema tree + data set."""
+
+    total_elements: int = 0
+    instance_counts: dict[int, int] = field(default_factory=dict)
+    leaf_stats: dict[int, ColumnStats] = field(default_factory=dict)
+    cardinality: dict[int, Counter] = field(default_factory=dict)
+    joint: dict[int, Counter] = field(default_factory=dict)
+
+    def instances(self, node_id: int) -> int:
+        return self.instance_counts.get(node_id, 0)
+
+    def occurrences_at_least(self, rep_id: int, k: int) -> int:
+        """#parent instances with >= k occurrences under the repetition."""
+        hist = self.cardinality.get(rep_id, Counter())
+        return sum(freq for count, freq in hist.items() if count >= k)
+
+    def overflow_count(self, rep_id: int, k: int) -> int:
+        """Total occurrences beyond the first ``k`` per parent instance."""
+        hist = self.cardinality.get(rep_id, Counter())
+        return sum((count - k) * freq for count, freq in hist.items()
+                   if count > k)
+
+    def total_occurrences(self, rep_id: int) -> int:
+        hist = self.cardinality.get(rep_id, Counter())
+        return sum(count * freq for count, freq in hist.items())
+
+    def suggest_split_count(self, rep_id: int, cmax: int = 5,
+                            coverage: float = 0.80) -> int | None:
+        """Paper Section 4.6: smallest k <= cmax covering ``coverage`` of
+        instances; None when the cardinality distribution is not skewed
+        enough for repetition split to pay off."""
+        hist = self.cardinality.get(rep_id)
+        if not hist:
+            return None
+        total = sum(hist.values())
+        max_card = max(hist)
+        if max_card <= cmax:
+            return max_card if max_card >= 1 else None
+        running = 0
+        for k in range(0, cmax + 1):
+            running += hist.get(k, 0)
+            if k >= 1 and running / total >= coverage:
+                return k
+        if hist.get(0, 0) + sum(f for c, f in hist.items()
+                                if 1 <= c <= cmax) >= coverage * total:
+            return cmax
+        return None
+
+
+# ----------------------------------------------------------------------
+# Collection
+# ----------------------------------------------------------------------
+
+
+class _Collector:
+    def __init__(self, tree: SchemaTree):
+        self.tree = tree
+        self.total_elements = 0
+        self.instance_counts: Counter = Counter()
+        self.leaf_values: dict[int, list] = {}
+        self.cardinality: dict[int, Counter] = {}
+        self.joint: dict[int, Counter] = {}
+        self._region_reps: dict[int, list[int]] = {}
+
+    def run(self, docs) -> CollectedStats:
+        if isinstance(docs, (Document, Element)):
+            docs = [docs]
+        for doc in docs:
+            root = doc.root if isinstance(doc, Document) else doc
+            if root.tag != self.tree.root.name:
+                raise MappingError(
+                    f"document root <{root.tag}> does not match schema")
+            self._visit_tag(root, self.tree.root, collectors_above=[])
+        leaf_stats = {}
+        for leaf_id, values in self.leaf_values.items():
+            leaf = self.tree.node(leaf_id)
+            base = self.tree.leaf_base_type(leaf)  # element or attribute
+            typed = [_coerce(base, v) for v in values]
+            leaf_stats[leaf_id] = ColumnStats.from_values(
+                typed, is_string=(base.value == "string"))
+        return CollectedStats(
+            total_elements=self.total_elements,
+            instance_counts=dict(self.instance_counts),
+            leaf_stats=leaf_stats,
+            cardinality=self.cardinality,
+            joint=self.joint,
+        )
+
+    # ------------------------------------------------------------------
+    def _visit_tag(self, element: Element, node: SchemaNode,
+                   collectors_above: list[set]) -> None:
+        self.total_elements += 1
+        self.instance_counts[node.node_id] += 1
+        for attr in self.tree.attributes_of(node):
+            value = element.attributes.get(attr.name)
+            if value is not None:
+                self.instance_counts[attr.node_id] += 1
+                self.leaf_values.setdefault(attr.node_id, []).append(value)
+        if self.tree.is_leaf_element(node):
+            self.leaf_values.setdefault(node.node_id, []).append(element.text)
+            return
+        signature: set = set()
+        collectors = collectors_above + [signature]
+        rep_counts: Counter = Counter()
+        dispatch = self._dispatch(node)
+        for child in element.children:
+            entry = dispatch.get(child.tag)
+            if entry is None:
+                raise MappingError(
+                    f"unexpected element <{child.tag}> under "
+                    f"<{element.tag}> while collecting statistics")
+            child_node, optional_ids, choice_branch, rep_id = entry
+            for target in collectors:
+                for optional_id in optional_ids:
+                    target.add(("opt", optional_id))
+                if choice_branch is not None:
+                    target.add(("choice",) + choice_branch)
+            if rep_id is not None:
+                rep_counts[rep_id] += 1
+                self._visit_tag(child, child_node, collectors_above=[])
+            else:
+                self._visit_tag(child, child_node, collectors)
+        for rep_id in self._region_reps[node.node_id]:
+            self.cardinality.setdefault(rep_id, Counter())[
+                rep_counts.get(rep_id, 0)] += 1
+        self.joint.setdefault(node.node_id, Counter())[
+            frozenset(signature)] += 1
+
+    def _dispatch(self, node: SchemaNode):
+        """tag name -> (child TAG, crossed option ids, choice branch, rep)."""
+        cached = getattr(self, "_dispatch_cache", None)
+        if cached is None:
+            cached = self._dispatch_cache = {}
+        if node.node_id in cached:
+            return cached[node.node_id]
+        tree = self.tree
+        out: dict[str, tuple] = {}
+        reps: list[int] = []
+
+        def walk(current: SchemaNode, optional_ids: frozenset,
+                 choice_branch, rep_id: int | None) -> None:
+            for child in tree.children(current):
+                if child.kind == NodeKind.SIMPLE:
+                    continue
+                if child.kind == NodeKind.TAG:
+                    out[child.name] = (child, optional_ids, choice_branch,
+                                       rep_id)
+                elif child.kind == NodeKind.OPTION:
+                    walk(child, optional_ids | {child.node_id},
+                         choice_branch, rep_id)
+                elif child.kind == NodeKind.CHOICE:
+                    for index, branch in enumerate(tree.children(child)):
+                        if branch.kind == NodeKind.TAG:
+                            out[branch.name] = (branch, optional_ids,
+                                                (child.node_id, index), rep_id)
+                        else:
+                            walk_single(branch, optional_ids,
+                                        (child.node_id, index), rep_id)
+                elif child.kind == NodeKind.SEQUENCE:
+                    walk(child, optional_ids, choice_branch, rep_id)
+                elif child.kind == NodeKind.REPETITION:
+                    reps.append(child.node_id)
+                    walk(child, optional_ids, choice_branch, child.node_id)
+
+        def walk_single(current, optional_ids, choice_branch, rep_id):
+            walk(current, optional_ids, choice_branch, rep_id)
+
+        walk(node, frozenset(), None, None)
+        self._region_reps[node.node_id] = reps
+        cached[node.node_id] = out
+        return out
+
+
+def _coerce(base, value):
+    from ..xsd import BaseType
+    try:
+        if base == BaseType.INTEGER:
+            return int(str(value).strip())
+        if base == BaseType.DECIMAL:
+            return float(str(value).strip())
+    except ValueError:
+        return None
+    return value
+
+
+def collect_statistics(tree: SchemaTree, docs) -> CollectedStats:
+    """Collect finest-granularity statistics from documents."""
+    return _Collector(tree).run(docs)
+
+
+# ----------------------------------------------------------------------
+# Derivation
+# ----------------------------------------------------------------------
+
+
+def _uniform_int_stats(rows: int, lo: int, hi: int,
+                       n_distinct: int | None = None) -> ColumnStats:
+    if rows == 0:
+        return ColumnStats(row_count=0)
+    hi = max(hi, lo)
+    buckets = min(32, max(1, rows))
+    boundaries = [lo + round((hi - lo) * (b + 1) / buckets)
+                  for b in range(buckets)]
+    return ColumnStats(
+        row_count=rows, null_count=0,
+        n_distinct=n_distinct if n_distinct is not None else rows,
+        min_value=lo, max_value=hi,
+        boundaries=boundaries, bucket_rows=rows / buckets)
+
+
+def _signature_matches(signature: Signature, conditions) -> bool:
+    for condition in conditions:
+        if isinstance(condition, BranchCondition):
+            if ("choice", condition.choice_id,
+                    condition.branch_index) not in signature:
+                return False
+        elif isinstance(condition, PresenceCondition):
+            present = any(("opt", oid) in signature
+                          for oid in condition.optional_ids)
+            if present != condition.present:
+                return False
+    return True
+
+
+class StatsDeriver:
+    """Derives per-table statistics for any mapping from collected stats."""
+
+    def __init__(self, collected: CollectedStats):
+        self.collected = collected
+
+    # ------------------------------------------------------------------
+    def derive(self, schema: MappedSchema) -> dict[str, TableStats]:
+        out: dict[str, TableStats] = {}
+        for group in schema.groups.values():
+            for partition in group.partitions:
+                out[partition.table_name] = self._partition_stats(
+                    schema, group, partition)
+        return out
+
+    # ------------------------------------------------------------------
+    def _partition_stats(self, schema, group, partition) -> TableStats:
+        tree = schema.tree
+        collected = self.collected
+        rows = 0
+        parent_rows = 0
+        leaf_owner = None
+        for owner_id in group.owner_ids:
+            node = tree.node(owner_id)
+            rep = tree.enclosing_repetition(node)
+            split = (schema.mapping.split_map.get(rep.node_id)
+                     if rep is not None else None)
+            if tree.is_leaf_element(node) and split is not None:
+                # Overflow table of a repetition split.
+                rows += collected.overflow_count(rep.node_id, split)
+            else:
+                rows += self._matching_instances(owner_id,
+                                                 partition.conditions)
+            leaf_owner = node
+            parent_owner = schema.mapping.parent_owner_of(owner_id)
+            if parent_owner is not None:
+                parent_rows += collected.instances(parent_owner)
+
+        stats = TableStats(row_count=rows)
+        for name in partition.column_names:
+            spec = group.column(name)
+            stats.columns[name] = self._column_stats(
+                schema, group, partition, spec, rows, parent_rows)
+        return stats
+
+    def _matching_instances(self, owner_id: int, conditions) -> int:
+        collected = self.collected
+        if not conditions:
+            return collected.instances(owner_id)
+        joint = collected.joint.get(owner_id)
+        if joint is None:
+            return 0
+        return sum(freq for signature, freq in joint.items()
+                   if _signature_matches(signature, conditions))
+
+    # ------------------------------------------------------------------
+    def _column_stats(self, schema, group, partition, spec, rows,
+                      parent_rows) -> ColumnStats:
+        collected = self.collected
+        if spec.name == "ID":
+            return _uniform_int_stats(rows, 1, max(collected.total_elements, 1))
+        if spec.name == "PID":
+            return _uniform_int_stats(
+                rows, 1, max(collected.total_elements, 1),
+                n_distinct=min(max(parent_rows, 1), max(rows, 1)))
+        assert spec.leaf_id is not None
+        source = collected.leaf_stats.get(spec.leaf_id)
+        if source is None:
+            return ColumnStats(row_count=rows, null_count=rows)
+        if spec.occurrence is not None:
+            # Repetition-split column name_i: non-null iff the parent has
+            # >= i occurrences.
+            leaf = schema.tree.node(spec.leaf_id)
+            rep = schema.tree.enclosing_repetition(leaf)
+            assert rep is not None
+            non_null = collected.occurrences_at_least(
+                rep.node_id, spec.occurrence)
+            non_null = min(non_null, rows)
+            return source.scaled(rows, new_null_count=rows - non_null)
+        # Plain column: presence governed by the leaf's optional/choice
+        # ancestors within the owner region.
+        non_null = self._leaf_presence(schema, group, partition,
+                                       spec.leaf_id, rows)
+        return source.scaled(rows, new_null_count=max(0, rows - non_null))
+
+    def _leaf_presence(self, schema, group, partition, leaf_id: int,
+                       rows: int) -> int:
+        """#rows of the partition where the leaf column is non-null."""
+        tree = schema.tree
+        collected = self.collected
+        owner_id = group.owner_ids[0]
+        if tree.is_leaf_element(tree.node(owner_id)):
+            return rows  # value column of a leaf's own table
+        # Governing features on the path owner -> leaf.
+        features: list = []
+        current = tree.node(leaf_id)
+        while current is not None and current.node_id != owner_id:
+            parent = tree.parent(current)
+            if parent is None:
+                break
+            if parent.kind == NodeKind.OPTION:
+                features.append(("opt", parent.node_id))
+            elif parent.kind == NodeKind.CHOICE:
+                index = parent.child_ids.index(current.node_id)
+                features.append(("choice", parent.node_id, index))
+            current = parent
+        if not features:
+            # No optional/choice constraints on the path: presence is
+            # governed purely by instance counts (covers attributes and
+            # leaves of always-present elements).
+            owner_count = sum(collected.instances(o)
+                              for o in group.owner_ids) or 1
+            ratio = collected.instances(leaf_id) / owner_count
+            return int(round(rows * min(1.0, ratio)))
+        total = 0
+        joint_total = 0
+        joint = collected.joint.get(owner_id, Counter())
+        for signature, freq in joint.items():
+            if not _signature_matches(signature, partition.conditions):
+                continue
+            joint_total += freq
+            if all(f in signature for f in features):
+                total += freq
+        if joint_total == 0:
+            # Fallback: global presence ratio.
+            owner_count = sum(collected.instances(o)
+                              for o in group.owner_ids) or 1
+            ratio = collected.instances(leaf_id) / owner_count
+            return int(round(rows * min(1.0, ratio)))
+        return int(round(rows * total / joint_total))
+
+
+def derive_table_stats(schema: MappedSchema,
+                       collected: CollectedStats) -> dict[str, TableStats]:
+    """Convenience wrapper around :class:`StatsDeriver`."""
+    return StatsDeriver(collected).derive(schema)

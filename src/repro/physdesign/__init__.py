@@ -1,0 +1,20 @@
+"""Physical design tool: what-if index/view tuning advisor."""
+
+from .candidates import CandidateGenerator, QueryShape, analyze_select
+from .config import Configuration, ViewCandidate, make_view_candidate
+from .tuner import (AdvisorStats, IndexTuningAdvisor, QueryReport,
+                    TuningResult, materialize)
+
+__all__ = [
+    "CandidateGenerator",
+    "QueryShape",
+    "analyze_select",
+    "Configuration",
+    "ViewCandidate",
+    "make_view_candidate",
+    "IndexTuningAdvisor",
+    "TuningResult",
+    "QueryReport",
+    "AdvisorStats",
+    "materialize",
+]

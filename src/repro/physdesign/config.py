@@ -1,0 +1,86 @@
+"""Physical design configurations.
+
+A configuration is a set of (hypothetical or materialized) indexes and
+join views, with size accounting against the storage bound of the
+paper's problem definition (Definition 1: data + physical design
+structures must fit in ``S``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..engine import Database, Index, JoinViewDefinition, Table
+from ..engine.matview import derive_view_stats, make_view_table
+
+
+@dataclass
+class ViewCandidate:
+    """A join-view candidate with its stats-only table object."""
+
+    name: str
+    definition: JoinViewDefinition
+    table: Table
+
+    def size_bytes(self) -> int:
+        return self.table.size_bytes
+
+
+@dataclass
+class Configuration:
+    """A set of physical design structures."""
+
+    indexes: list[Index] = field(default_factory=list)
+    views: list[ViewCandidate] = field(default_factory=list)
+
+    def size_bytes(self, db: Database) -> int:
+        total = 0
+        for index in self.indexes:
+            table = db.catalog.table(index.table_name)
+            total += index.size_bytes(table)
+        for view in self.views:
+            total += view.size_bytes()
+        return total
+
+    def extended(self, candidate) -> "Configuration":
+        """A new configuration with one more structure."""
+        if isinstance(candidate, Index):
+            return Configuration(self.indexes + [candidate], list(self.views))
+        return Configuration(list(self.indexes), self.views + [candidate])
+
+    def object_names(self) -> frozenset[str]:
+        return frozenset([ix.name for ix in self.indexes]
+                         + [v.name for v in self.views])
+
+    def extra_tables(self) -> list[Table]:
+        return [v.table for v in self.views]
+
+    def __len__(self) -> int:
+        return len(self.indexes) + len(self.views)
+
+    def describe(self) -> str:
+        """Human-readable summary used by examples and reports."""
+        lines = []
+        for index in self.indexes:
+            inc = (f" INCLUDE ({', '.join(index.included_columns)})"
+                   if index.included_columns else "")
+            lines.append(f"INDEX {index.name} ON {index.table_name}"
+                         f"({', '.join(index.key_columns)}){inc}")
+        for view in self.views:
+            definition = view.definition
+            lines.append(
+                f"VIEW {view.name} = {definition.parent_table} JOIN "
+                f"{definition.child_table} ON {definition.child_fk_column}")
+        return "\n".join(lines) if lines else "(no physical structures)"
+
+
+def make_view_candidate(name: str, definition: JoinViewDefinition,
+                        db: Database) -> ViewCandidate:
+    """Build the stats-only view table for what-if costing."""
+    parent = db.catalog.table(definition.parent_table)
+    child = db.catalog.table(definition.child_table)
+    table = make_view_table(name, definition, parent, child)
+    stats = derive_view_stats(table, definition, db.stats)
+    # Register stats so the optimizer can estimate selectivities on it.
+    db.stats.set_table(name, stats)
+    return ViewCandidate(name=name, definition=definition, table=table)

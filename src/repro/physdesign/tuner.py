@@ -1,0 +1,295 @@
+"""The index/materialized-view tuning advisor.
+
+Plays the role of SQL Server 2000's Index Tuning Wizard in the paper's
+architecture (Fig. 2): given a SQL workload and a storage bound, it
+
+1. generates per-query index and join-view candidates,
+2. costs configurations with what-if optimizer calls (no data touched),
+3. greedily selects the structure with the best benefit-per-byte until
+   no structure improves the workload or the bound is reached,
+4. reports per-query estimated costs and the object sets ``I(Q)`` used
+   by each query plan — the hooks the search algorithm's cost-derivation
+   optimization (paper Section 4.8) relies on.
+
+The advisor never materializes anything; call :func:`materialize` on a
+database holding real data to build the final recommendation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..engine import Database, Index
+from ..errors import PlanError, SearchError
+from ..sqlast import Query
+from .candidates import CandidateGenerator
+from .config import Configuration, ViewCandidate
+
+
+@dataclass
+class QueryReport:
+    """Advisor output for one workload query."""
+
+    query: Query
+    weight: float
+    cost: float
+    objects_used: frozenset[str]
+
+
+@dataclass
+class TuningResult:
+    """Advisor output for one workload."""
+
+    configuration: Configuration
+    total_cost: float
+    reports: list[QueryReport]
+    optimizer_calls: int
+    candidates_considered: int
+
+    def cost_of(self, index: int) -> float:
+        return self.reports[index].cost
+
+
+@dataclass
+class AdvisorStats:
+    """Cumulative instrumentation across advisor invocations."""
+
+    invocations: int = 0
+    optimizer_calls: int = 0
+
+
+class IndexTuningAdvisor:
+    """Greedy what-if physical design advisor."""
+
+    def __init__(self, db: Database, max_rounds: int = 12,
+                 min_benefit: float = 1e-6):
+        self.db = db
+        self.max_rounds = max_rounds
+        self.min_benefit = min_benefit
+        self.stats = AdvisorStats()
+        # Per-tune cost cache: (query index, signatures of the
+        # structures relevant to it) -> (cost, objects used). A
+        # candidate index on a table the query never touches cannot
+        # change its plan, so most greedy-round evaluations hit here.
+        self._cost_cache: dict[tuple, tuple[float, frozenset[str]]] = {}
+        self._optimizer_calls = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _relevant_signature(tables: frozenset[str],
+                            configuration: Configuration) -> frozenset:
+        parts: list = []
+        for index in configuration.indexes:
+            if index.table_name in tables:
+                parts.append(index.signature())
+        for view in configuration.views:
+            definition = view.definition
+            if {definition.parent_table, definition.child_table} <= tables:
+                parts.append(("view", definition))
+        return frozenset(parts)
+
+    def _cost_cached(self, index: int, query: Query,
+                     tables: frozenset[str],
+                     configuration: Configuration
+                     ) -> tuple[float, frozenset[str]]:
+        key = (index, self._relevant_signature(tables, configuration))
+        hit = self._cost_cache.get(key)
+        if hit is not None:
+            return hit
+        result = self._cost(query, configuration)
+        self._optimizer_calls += 1
+        self._cost_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    def tune(self, workload: list[tuple[Query, float]],
+             storage_bound: int | None = None,
+             extra_candidates: list[Index | ViewCandidate] | None = None,
+             update_load: dict[str, float] | None = None
+             ) -> TuningResult:
+        """Recommend a configuration for the weighted SQL workload.
+
+        ``update_load`` (extension) maps table name to expected row
+        inserts per unit of workload time; candidate structures on
+        loaded tables are charged a maintenance penalty.
+        """
+        self.stats.invocations += 1
+        generator = CandidateGenerator(self.db)
+        candidates: list[Index | ViewCandidate] = list(extra_candidates or [])
+        per_query_tables: list[frozenset[str]] = []
+        for query, _ in workload:
+            indexes, views = generator.for_query(query)
+            candidates.extend(indexes)
+            candidates.extend(views)
+            per_query_tables.append(query.referenced_tables)
+
+        data_bytes = self.db.catalog.total_data_bytes()
+        budget = None
+        if storage_bound is not None:
+            budget = storage_bound - data_bytes
+            if budget < 0:
+                raise SearchError(
+                    f"storage bound {storage_bound} is below the data size "
+                    f"{data_bytes}")
+
+        self._cost_cache.clear()
+        self._optimizer_calls = 0
+        chosen = Configuration()
+        current_costs: list[float] = []
+        for i, (query, _) in enumerate(workload):
+            cost, _ = self._cost_cached(i, query, per_query_tables[i],
+                                        chosen)
+            current_costs.append(cost)
+
+        update_load = update_load or {}
+
+        # Lazy greedy selection: a candidate's benefit-per-byte can only
+        # shrink as the configuration grows (diminishing returns), so we
+        # keep stale scores in a max-heap and only re-evaluate the
+        # candidate currently on top. This avoids re-costing every
+        # candidate every round.
+        import heapq
+
+        def evaluate(candidate, base_costs):
+            size = self._candidate_size(candidate)
+            trial = chosen.extended(candidate)
+            affected_table = self._candidate_table(candidate)
+            new_costs = list(base_costs)
+            benefit = -self._maintenance_cost(candidate, update_load)
+            for i, (query, weight) in enumerate(workload):
+                if affected_table is not None and \
+                        affected_table not in per_query_tables[i]:
+                    continue
+                cost, _ = self._cost_cached(i, query,
+                                            per_query_tables[i], trial)
+                benefit += weight * (base_costs[i] - cost)
+                new_costs[i] = cost
+            return benefit / max(size, 1), benefit, new_costs, size
+
+        heap: list = []
+        for order, candidate in enumerate(candidates):
+            size = self._candidate_size(candidate)
+            if budget is not None and size > budget:
+                continue
+            score, benefit, new_costs, _ = evaluate(candidate, current_costs)
+            if benefit <= self.min_benefit:
+                continue
+            heapq.heappush(heap, (-score, 0, order, candidate, new_costs))
+
+        rounds = 0
+        while heap and rounds < self.max_rounds:
+            neg_score, generation, order, candidate, new_costs = \
+                heapq.heappop(heap)
+            size = self._candidate_size(candidate)
+            if budget is not None and \
+                    chosen.size_bytes(self.db) + size > budget:
+                continue
+            if generation != rounds:
+                # Stale score: re-evaluate against the current config.
+                score, benefit, new_costs, _ = evaluate(candidate,
+                                                        current_costs)
+                if benefit <= self.min_benefit:
+                    continue
+                heapq.heappush(heap, (-score, rounds, order, candidate,
+                                      new_costs))
+                continue
+            chosen = chosen.extended(candidate)
+            current_costs = new_costs
+            rounds += 1
+            # Scores in the heap are now stale relative to `rounds`.
+
+        reports: list[QueryReport] = []
+        total = 0.0
+        for i, (query, weight) in enumerate(workload):
+            cost, objects = self._cost_cached(i, query, per_query_tables[i],
+                                              chosen)
+            reports.append(QueryReport(query=query, weight=weight,
+                                       cost=cost, objects_used=objects))
+            total += weight * cost
+        # Update maintenance: base row-insert work plus per-structure
+        # upkeep (extension; zero when no update load is declared).
+        total += self._base_update_cost(update_load)
+        for index in chosen.indexes:
+            total += self._maintenance_cost(index, update_load)
+        for view in chosen.views:
+            total += self._maintenance_cost(view, update_load)
+        self.stats.optimizer_calls += self._optimizer_calls
+        return TuningResult(
+            configuration=chosen,
+            total_cost=total,
+            reports=reports,
+            optimizer_calls=self._optimizer_calls,
+            candidates_considered=len(candidates),
+        )
+
+    # ------------------------------------------------------------------
+    # Update maintenance model (extension)
+    # ------------------------------------------------------------------
+    def _maintenance_cost(self, candidate: Index | ViewCandidate,
+                          update_load: dict[str, float]) -> float:
+        """Upkeep cost per unit time for one structure under the load."""
+        if not update_load:
+            return 0.0
+        from ..engine.cost import CPU_TUPLE_COST, RANDOM_PAGE_COST
+
+        if isinstance(candidate, Index):
+            rate = update_load.get(candidate.table_name, 0.0)
+            if rate == 0.0:
+                return 0.0
+            table = self.db.catalog.table(candidate.table_name)
+            # One tree descent plus a leaf write per inserted row.
+            return rate * (candidate.height(table) * RANDOM_PAGE_COST
+                           + RANDOM_PAGE_COST + CPU_TUPLE_COST)
+        definition = candidate.definition
+        child_rate = update_load.get(definition.child_table, 0.0)
+        parent_rate = update_load.get(definition.parent_table, 0.0)
+        # Each child insert adds a view row (parent lookup + write);
+        # parent inserts alone add nothing (no matching child rows yet).
+        return child_rate * (2 * RANDOM_PAGE_COST + CPU_TUPLE_COST) \
+            + parent_rate * CPU_TUPLE_COST
+
+    def _base_update_cost(self, update_load: dict[str, float]) -> float:
+        """Row-insert work independent of the chosen structures."""
+        if not update_load:
+            return 0.0
+        from ..engine.cost import CPU_TUPLE_COST, RANDOM_PAGE_COST
+        return sum(rate * (RANDOM_PAGE_COST + CPU_TUPLE_COST)
+                   for rate in update_load.values())
+
+    # ------------------------------------------------------------------
+    def _candidate_size(self, candidate: Index | ViewCandidate) -> int:
+        if isinstance(candidate, Index):
+            table = self.db.catalog.table(candidate.table_name)
+            return candidate.size_bytes(table)
+        return candidate.size_bytes()
+
+    @staticmethod
+    def _candidate_table(candidate: Index | ViewCandidate) -> str | None:
+        if isinstance(candidate, Index):
+            return candidate.table_name
+        return None  # views affect both tables; never skip
+
+    def _cost(self, query: Query,
+              configuration: Configuration) -> tuple[float, frozenset[str]]:
+        try:
+            planned = self.db.estimate(
+                query,
+                extra_indexes=configuration.indexes,
+                extra_tables=configuration.extra_tables())
+        except PlanError as exc:
+            raise SearchError(f"cannot cost query {query}: {exc}") from exc
+        return planned.est_cost, planned.objects_used()
+
+
+def materialize(db: Database, configuration: Configuration) -> None:
+    """Build a recommended configuration on a database with real data."""
+    for view in configuration.views:
+        db.create_materialized_view(view.name, view.definition)
+    for index in configuration.indexes:
+        table = db.catalog.table(index.table_name)
+        built = Index(name=index.name, table_name=index.table_name,
+                      key_columns=index.key_columns,
+                      included_columns=index.included_columns)
+        db.catalog.add_index(built)
+        if table.is_materialized:
+            built.build(table)

@@ -1,0 +1,32 @@
+"""Search algorithms over the combined logical+physical design space."""
+
+from .candidate_merging import CandidateMerger
+from .candidate_selection import (CandidateSelector, CandidateSet,
+                                  apply_splits)
+from .cost_derivation import CostDerivation, affected_annotations
+from .evaluator import (EvaluatedMapping, MappingEvaluator,
+                        build_stats_only_database)
+from .greedy import GreedySearch
+from .naive import NaiveGreedySearch
+from .result import DesignResult, SearchCounters, Stopwatch
+from .twostep import TwoStepSearch
+from .updates import update_load_for
+
+__all__ = [
+    "GreedySearch",
+    "NaiveGreedySearch",
+    "TwoStepSearch",
+    "DesignResult",
+    "SearchCounters",
+    "Stopwatch",
+    "MappingEvaluator",
+    "EvaluatedMapping",
+    "build_stats_only_database",
+    "CandidateSelector",
+    "CandidateSet",
+    "apply_splits",
+    "CandidateMerger",
+    "CostDerivation",
+    "affected_annotations",
+    "update_load_for",
+]

@@ -1,0 +1,171 @@
+"""Shared machinery: evaluate the cost of one mapping.
+
+Evaluating a mapping (paper Fig. 2's loop body) means:
+
+1. derive its relational schema,
+2. install stats-only tables with statistics *derived* from the
+   fully-split collection (no data is ever loaded during search),
+3. translate the XPath workload to SQL against that schema,
+4. call the physical design tool (tuning advisor), which returns the
+   recommended configuration, per-query estimated costs, and the object
+   sets ``I(Q, M)``.
+
+Evaluations are memoized by mapping signature — this implements the
+paper's "carefully avoids searching duplicated mappings".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine import Database
+from ..errors import SearchError, TranslationError
+from ..mapping import (CollectedStats, MappedSchema, Mapping, derive_schema,
+                       derive_table_stats)
+from ..physdesign import IndexTuningAdvisor, TuningResult
+from ..sqlast import Query
+from ..translate import Translator
+from ..workload import Workload
+from .result import SearchCounters
+
+
+@dataclass
+class EvaluatedMapping:
+    """One costed mapping."""
+
+    mapping: Mapping
+    schema: MappedSchema
+    database: Database
+    sql_queries: list[tuple[Query, float]]
+    tuning: TuningResult
+
+    @property
+    def total_cost(self) -> float:
+        return self.tuning.total_cost
+
+
+def build_stats_only_database(schema: MappedSchema,
+                              collected: CollectedStats) -> Database:
+    """A data-free database whose tables carry derived statistics."""
+    db = Database(name=f"whatif:{id(schema)}")
+    table_stats = derive_table_stats(schema, collected)
+    for table in schema.to_engine_tables():
+        db.register_table(table)
+    for name, stats in table_stats.items():
+        db.set_table_stats(name, stats)
+    return db
+
+
+class MappingEvaluator:
+    """Costs mappings for one (tree, workload, stats, bound) problem."""
+
+    def __init__(self, workload: Workload, collected: CollectedStats,
+                 storage_bound: int | None = None,
+                 use_cache: bool = True,
+                 counters: SearchCounters | None = None):
+        self.workload = workload
+        self.collected = collected
+        self.storage_bound = storage_bound
+        self.use_cache = use_cache
+        self.counters = counters or SearchCounters()
+        self._cache: dict[tuple, EvaluatedMapping | None] = {}
+        self._partial_cache: dict[tuple, EvaluatedMapping | None] = {}
+
+    # ------------------------------------------------------------------
+    def evaluate(self, mapping: Mapping) -> EvaluatedMapping | None:
+        """Cost a mapping; ``None`` when the workload cannot be
+        translated under it (infeasible mapping)."""
+        key = mapping.signature()
+        if self.use_cache and key in self._cache:
+            self.counters.cache_hits += 1
+            return self._cache[key]
+        result = self._evaluate_uncached(mapping)
+        if self.use_cache:
+            self._cache[key] = result
+        return result
+
+    def cached(self, mapping: Mapping) -> EvaluatedMapping | None:
+        """An already-computed exact evaluation, if any (no work done)."""
+        if not self.use_cache:
+            return None
+        return self._cache.get(mapping.signature())
+
+    def _update_load(self, schema: MappedSchema) -> dict[str, float]:
+        """Row-insert rates per table for this mapping (extension)."""
+        if not self.workload.updates:
+            return {}
+        from .updates import update_load_for
+        return update_load_for(schema, self.collected, self.workload)
+
+    def translate_workload(self, schema: MappedSchema
+                           ) -> list[tuple[Query, float]]:
+        translator = Translator(schema)
+        return [(translator.translate(wq.query), wq.weight)
+                for wq in self.workload]
+
+    def _evaluate_uncached(self, mapping: Mapping) -> EvaluatedMapping | None:
+        self.counters.mappings_evaluated += 1
+        schema = derive_schema(mapping)
+        try:
+            sql_queries = self.translate_workload(schema)
+        except TranslationError:
+            return None
+        db = build_stats_only_database(schema, self.collected)
+        advisor = IndexTuningAdvisor(db)
+        try:
+            tuning = advisor.tune(sql_queries, self.storage_bound,
+                                  update_load=self._update_load(schema))
+        except SearchError:
+            return None
+        self.counters.tuner_calls += 1
+        self.counters.optimizer_calls += tuning.optimizer_calls
+        return EvaluatedMapping(mapping=mapping, schema=schema, database=db,
+                                sql_queries=sql_queries, tuning=tuning)
+
+    # ------------------------------------------------------------------
+    def evaluate_partial(self, mapping: Mapping,
+                         reuse: dict[int, float]) -> EvaluatedMapping | None:
+        """Cost a mapping, reusing known per-query costs (Section 4.8).
+
+        ``reuse`` maps workload indices to already-known costs; only the
+        remaining queries are passed to the physical design tool, which
+        is what makes cost derivation cheaper.
+        """
+        key = (mapping.signature(),
+               frozenset((i, round(cost, 6)) for i, cost in reuse.items()))
+        if self.use_cache and key in self._partial_cache:
+            self.counters.cache_hits += 1
+            return self._partial_cache[key]
+        result = self._evaluate_partial_uncached(mapping, reuse)
+        if self.use_cache:
+            self._partial_cache[key] = result
+        return result
+
+    def _evaluate_partial_uncached(self, mapping: Mapping,
+                                   reuse: dict[int, float]
+                                   ) -> EvaluatedMapping | None:
+        self.counters.mappings_evaluated += 1
+        schema = derive_schema(mapping)
+        try:
+            sql_queries = self.translate_workload(schema)
+        except TranslationError:
+            return None
+        db = build_stats_only_database(schema, self.collected)
+        remaining = [(q, w) for i, (q, w) in enumerate(sql_queries)
+                     if i not in reuse]
+        advisor = IndexTuningAdvisor(db)
+        try:
+            tuning = advisor.tune(remaining, self.storage_bound,
+                                  update_load=self._update_load(schema))
+        except SearchError:
+            return None
+        self.counters.tuner_calls += 1
+        self.counters.optimizer_calls += tuning.optimizer_calls
+        self.counters.derived_query_costs += len(reuse)
+        reused_cost = sum(self.workload.queries[i].weight * cost
+                          for i, cost in reuse.items())
+        # Patch the tuning result so downstream reporting sees the full
+        # workload cost.
+        tuning.total_cost += reused_cost
+        return EvaluatedMapping(mapping=mapping, schema=schema, database=db,
+                                sql_queries=sql_queries, tuning=tuning)

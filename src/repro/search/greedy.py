@@ -1,0 +1,240 @@
+"""The paper's Greedy search algorithm (Fig. 3).
+
+Pipeline:
+
+1. **Candidate selection** (Section 4.5) splits workload-relevant
+   transformations into split-type ``C2`` and merge-type ``C1``;
+   subsumed transformations are never considered.
+2. The initial mapping ``M0`` applies every split candidate to the base
+   (hybrid-inlining) mapping.
+3. **Candidate merging** (Section 4.7) replaces pairs of implicit-union
+   candidates with merged ones before building ``M0``.
+4. The greedy loop repeatedly applies the merge-type candidate with the
+   lowest resulting cost — costing each enumerated mapping through the
+   physical design tool, with **cost derivation** (Section 4.8) reusing
+   per-query costs where the rules allow — until no candidate improves
+   the workload. The winning mapping of each round is re-costed without
+   derivation, as the paper prescribes.
+
+Ablation switches (used by the Fig. 7–9 experiments):
+``use_selection``, ``merging`` ('greedy' | 'none' | 'exhaustive'),
+``use_cost_derivation``.
+"""
+
+from __future__ import annotations
+
+from ..mapping import (CollectedStats, Mapping, RepetitionMerge,
+                       Transformation, UnionDistribute, UnionFactorize,
+                       enumerate_transformations, hybrid_inlining)
+from ..workload import Workload
+from ..xsd import SchemaTree
+from .candidate_merging import CandidateMerger
+from .candidate_selection import CandidateSelector, CandidateSet, apply_splits
+from .cost_derivation import CostDerivation
+from .evaluator import EvaluatedMapping, MappingEvaluator
+from .result import DesignResult, SearchCounters, Stopwatch
+
+
+class GreedySearch:
+    """The paper's workload-driven joint logical+physical design search."""
+
+    def __init__(self, tree: SchemaTree, workload: Workload,
+                 collected: CollectedStats,
+                 storage_bound: int | None = None,
+                 base_mapping: Mapping | None = None,
+                 use_selection: bool = True,
+                 include_subsumed: bool = False,
+                 merging: str = "greedy",
+                 use_cost_derivation: bool = True,
+                 cmax: int = 5, coverage: float = 0.80,
+                 max_rounds: int = 25):
+        if merging not in ("greedy", "none", "exhaustive"):
+            raise ValueError(f"unknown merging mode {merging!r}")
+        self.tree = tree
+        self.workload = workload
+        self.collected = collected
+        self.storage_bound = storage_bound
+        self.base_mapping = base_mapping or hybrid_inlining(tree)
+        self.use_selection = use_selection
+        self.include_subsumed = include_subsumed
+        self.merging = merging
+        self.derivation = CostDerivation(enabled=use_cost_derivation)
+        self.cmax = cmax
+        self.coverage = coverage
+        self.max_rounds = max_rounds
+        self.counters = SearchCounters()
+
+    # ------------------------------------------------------------------
+    def run(self) -> DesignResult:
+        with Stopwatch(self.counters):
+            return self._run()
+
+    def _run(self) -> DesignResult:
+        evaluator = MappingEvaluator(self.workload, self.collected,
+                                     self.storage_bound,
+                                     counters=self.counters)
+        candidates = self._select_candidates()
+        splits = self._merge_split_candidates(candidates)
+        m0, applied_splits = apply_splits(self.base_mapping, splits)
+        base_eval = evaluator.evaluate(self.base_mapping)
+        current = evaluator.evaluate(m0)
+        if current is None:
+            # Fall back to the unsplit base mapping.
+            current = base_eval
+            applied_splits = []
+        assert current is not None
+
+        pool: list[Transformation] = list(candidates.merges)
+        for transformation in applied_splits:
+            inverse = self._inverse(transformation)
+            if inverse is not None:
+                pool.append(inverse)
+        applied_log = [str(t) for t in applied_splits]
+        rounds = 0
+        exact_rescue_used = False
+        while rounds < self.max_rounds:
+            rounds += 1
+            best: tuple[float, Transformation, EvaluatedMapping] | None = None
+            scored: list[tuple[float, Transformation]] = []
+            for candidate in pool:
+                evaluated = self._cost_candidate(candidate, current,
+                                                 evaluator)
+                if evaluated is None:
+                    continue
+                scored.append((evaluated.total_cost, candidate))
+                if evaluated.total_cost < current.total_cost and \
+                        (best is None or evaluated.total_cost < best[0]):
+                    best = (evaluated.total_cost, candidate, evaluated)
+            if best is None and self.derivation.enabled and \
+                    not exact_rescue_used and scored:
+                # Derivation is heuristic; before stopping, exact-check
+                # the lowest-derived-cost candidates so its noise cannot
+                # end the search early (keeps the paper's <= few-percent
+                # quality loss at a bounded extra cost).
+                exact_rescue_used = True
+                scored.sort(key=lambda pair: pair[0])
+                for _, candidate in scored[:3]:
+                    evaluated = self._cost_candidate(
+                        candidate, current, evaluator, exact=True)
+                    if evaluated is None:
+                        continue
+                    if evaluated.total_cost < current.total_cost and \
+                            (best is None or evaluated.total_cost < best[0]):
+                        best = (evaluated.total_cost, candidate, evaluated)
+            if best is None:
+                break
+            _, winner, evaluated = best
+            if self.derivation.enabled:
+                # Re-estimate the round winner without derivation
+                # (Fig. 3 line 18 / Section 4.8 closing remark).
+                exact = evaluator.evaluate(evaluated.mapping)
+                if exact is None or exact.total_cost >= current.total_cost:
+                    pool = [c for c in pool if c is not winner]
+                    continue
+                evaluated = exact
+            current = evaluated
+            applied_log.append(str(winner))
+            pool = [c for c in pool if c is not winner]
+        # Never return a design costlier than the base mapping's tuned
+        # design: if the split-everything start landed in a bad local
+        # minimum the merges could not escape, fall back.
+        if base_eval is not None and \
+                base_eval.total_cost < current.total_cost:
+            current = base_eval
+            applied_log = ["(reverted to base mapping)"]
+        return DesignResult(
+            algorithm="greedy",
+            workload=self.workload,
+            mapping=current.mapping,
+            schema=current.schema,
+            configuration=current.tuning.configuration,
+            sql_queries=current.sql_queries,
+            estimated_cost=current.total_cost,
+            counters=self.counters,
+            rounds=rounds,
+            applied=applied_log,
+        )
+
+    # ------------------------------------------------------------------
+    def _select_candidates(self) -> CandidateSet:
+        if self.use_selection:
+            selector = CandidateSelector(self.base_mapping, self.collected,
+                                         self.cmax, self.coverage)
+            return selector.select(self.workload)
+        # Ablation: all applicable transformations, unselected. With
+        # ``include_subsumed`` the subsumed ones (outlining, inlining,
+        # associativity, commutativity) are searched too — the Fig. 7
+        # baseline.
+        candidates = CandidateSet()
+        for transformation in enumerate_transformations(
+                self.base_mapping, include_subsumed=self.include_subsumed,
+                default_split_count=self.cmax):
+            if transformation.is_merge:
+                candidates.merges.append(transformation)
+            else:
+                candidates.splits.append(transformation)
+                if isinstance(transformation, UnionDistribute) and \
+                        transformation.distribution.is_implicit:
+                    candidates.implicit_unions.append(
+                        transformation.distribution)
+        return candidates
+
+    def _merge_split_candidates(self, candidates: CandidateSet
+                                ) -> list[Transformation]:
+        if self.merging == "none" or len(candidates.implicit_unions) < 2:
+            return list(candidates.splits)
+        merger = CandidateMerger(self.base_mapping, self.collected,
+                                 self.workload)
+        if self.merging == "greedy":
+            merged = merger.merge_greedy(candidates.implicit_unions)
+        else:
+            merged = merger.merge_exhaustive(candidates.implicit_unions)
+        out: list[Transformation] = []
+        for transformation in candidates.splits:
+            if isinstance(transformation, UnionDistribute) and \
+                    transformation.distribution.is_implicit:
+                continue  # replaced by the merged pool
+        out = [t for t in candidates.splits
+               if not (isinstance(t, UnionDistribute)
+                       and t.distribution.is_implicit)]
+        out += [UnionDistribute(d) for d in merged]
+        return out
+
+    def _inverse(self, transformation: Transformation) -> Transformation | None:
+        from ..mapping import RepetitionSplit, TypeMerge, TypeSplit
+        if isinstance(transformation, UnionDistribute):
+            return UnionFactorize(transformation.distribution)
+        if isinstance(transformation, RepetitionSplit):
+            return RepetitionMerge(transformation.rep_node_id)
+        if isinstance(transformation, TypeSplit):
+            # Undoing a type split = merging the split node back with the
+            # nodes that shared its original annotation.
+            old = self.base_mapping.annotation_of(transformation.node_id)
+            if old is None:
+                return None
+            sharers = self.base_mapping.nodes_with_annotation(old)
+            return TypeMerge(tuple(sharers), old)
+        return None
+
+    def _cost_candidate(self, candidate: Transformation,
+                        current: EvaluatedMapping,
+                        evaluator: MappingEvaluator,
+                        exact: bool = False) -> EvaluatedMapping | None:
+        self.counters.transformations_searched += 1
+        try:
+            mapping = candidate.validate_applied(current.mapping)
+        except Exception:
+            return None
+        if mapping.signature() == current.mapping.signature():
+            return None
+        if self.derivation.enabled and not exact:
+            hit = evaluator.cached(mapping)
+            if hit is not None:
+                return hit
+            reuse = self.derivation.reusable_costs(candidate, current)
+            # Partial evaluation only pays when a meaningful share of
+            # the workload carries over; otherwise it costs nearly a
+            # full advisor call *plus* the exact re-check of winners.
+            if len(reuse) >= 0.25 * len(self.workload):
+                return evaluator.evaluate_partial(mapping, reuse)
+        return evaluator.evaluate(mapping)

@@ -1,0 +1,79 @@
+"""Result and instrumentation types shared by the search algorithms."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..mapping import MappedSchema, Mapping
+from ..physdesign import Configuration
+from ..sqlast import Query
+from ..workload import Workload
+
+
+@dataclass
+class SearchCounters:
+    """Instrumentation the experiments report (Figs. 5–9)."""
+
+    transformations_searched: int = 0
+    mappings_evaluated: int = 0
+    cache_hits: int = 0
+    tuner_calls: int = 0
+    optimizer_calls: int = 0
+    derived_query_costs: int = 0
+    wall_time: float = 0.0
+
+    def merge(self, other: "SearchCounters") -> None:
+        self.transformations_searched += other.transformations_searched
+        self.mappings_evaluated += other.mappings_evaluated
+        self.cache_hits += other.cache_hits
+        self.tuner_calls += other.tuner_calls
+        self.optimizer_calls += other.optimizer_calls
+        self.derived_query_costs += other.derived_query_costs
+        self.wall_time += other.wall_time
+
+
+@dataclass
+class DesignResult:
+    """Output of one design search: the chosen mapping + configuration."""
+
+    algorithm: str
+    workload: Workload
+    mapping: Mapping
+    schema: MappedSchema
+    configuration: Configuration
+    sql_queries: list[tuple[Query, float]]
+    estimated_cost: float
+    counters: SearchCounters
+    rounds: int = 0
+    applied: list[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = [
+            f"algorithm: {self.algorithm}",
+            f"workload: {self.workload.name}",
+            f"estimated cost: {self.estimated_cost:.1f}",
+            f"rounds: {self.rounds}",
+            f"transformations applied: {self.applied or ['(none)']}",
+            "relational schema:",
+        ]
+        lines += ["  " + line for line in self.schema.describe().splitlines()]
+        lines.append("physical design:")
+        lines += ["  " + line
+                  for line in self.configuration.describe().splitlines()]
+        return "\n".join(lines)
+
+
+class Stopwatch:
+    """Tiny context manager adding elapsed time to a counters object."""
+
+    def __init__(self, counters: SearchCounters):
+        self.counters = counters
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self.counters.wall_time += time.perf_counter() - self._start
+        return False

@@ -1,0 +1,30 @@
+"""SQL AST, renderer, and parser for the translated-query subset."""
+
+from .ast import (And, BoolExpr, ColumnRef, Comparison, ComparisonOp, Exists,
+                  IsNull, Literal, Or, Query, Scalar, Select, SelectItem,
+                  TableRef, conjunction, conjuncts_of, single_select)
+from .parser import parse_sql
+from .render import render, render_select
+
+__all__ = [
+    "And",
+    "BoolExpr",
+    "ColumnRef",
+    "Comparison",
+    "ComparisonOp",
+    "Exists",
+    "IsNull",
+    "Literal",
+    "Or",
+    "Query",
+    "Scalar",
+    "Select",
+    "SelectItem",
+    "TableRef",
+    "conjunction",
+    "conjuncts_of",
+    "single_select",
+    "parse_sql",
+    "render",
+    "render_select",
+]

@@ -1,0 +1,220 @@
+"""Parser for the SQL subset (inverse of the renderer).
+
+Accepts what the translator emits: SELECT lists with ``NULL`` and
+literals, implicit-join FROM lists with aliases, WHERE trees of
+AND/OR/comparisons/IS [NOT] NULL/EXISTS, UNION ALL chains, and ORDER BY
+on column positions. Round-trip (``parse_sql(str(q)) == q``-modulo-
+normalization) is covered by property tests.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import SQLParseError
+from .ast import (And, BoolExpr, ColumnRef, Comparison, ComparisonOp, Exists,
+                  IsNull, Literal, Or, Query, Scalar, Select, SelectItem,
+                  TableRef)
+
+_TOKEN_RE = re.compile(r"""
+    \s*(
+        '(?:[^']|'')*'          # string literal
+      | -?\d+\.\d+              # decimal
+      | -?\d+                   # integer
+      | [A-Za-z_][A-Za-z_0-9]*  # identifier / keyword
+      | <> | <= | >= | != | [=<>(),.*]
+    )
+""", re.VERBOSE)
+
+_KEYWORDS = {
+    "select", "from", "where", "union", "all", "order", "by", "and", "or",
+    "as", "null", "is", "not", "exists",
+}
+
+_OPS = {
+    "=": ComparisonOp.EQ,
+    "<>": ComparisonOp.NE,
+    "!=": ComparisonOp.NE,
+    "<": ComparisonOp.LT,
+    "<=": ComparisonOp.LE,
+    ">": ComparisonOp.GT,
+    ">=": ComparisonOp.GE,
+}
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match:
+            if text[pos:].strip():
+                raise SQLParseError(f"cannot tokenize SQL at: {text[pos:pos + 20]!r}")
+            break
+        tokens.append(match.group(1))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers --------------------------------------------------
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def peek_kw(self, *keywords: str) -> bool:
+        token = self.peek()
+        return token is not None and token.lower() in keywords
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise SQLParseError("unexpected end of SQL")
+        self.pos += 1
+        return token
+
+    def expect_kw(self, keyword: str) -> None:
+        token = self.next()
+        if token.lower() != keyword:
+            raise SQLParseError(f"expected {keyword.upper()}, found {token!r}")
+
+    def expect(self, token: str) -> None:
+        found = self.next()
+        if found != token:
+            raise SQLParseError(f"expected {token!r}, found {found!r}")
+
+    def take(self, token: str) -> bool:
+        if self.peek() == token:
+            self.pos += 1
+            return True
+        return False
+
+    def take_kw(self, keyword: str) -> bool:
+        if self.peek_kw(keyword):
+            self.pos += 1
+            return True
+        return False
+
+    def identifier(self) -> str:
+        token = self.next()
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", token) or token.lower() in _KEYWORDS:
+            raise SQLParseError(f"expected an identifier, found {token!r}")
+        return token
+
+    # -- grammar ---------------------------------------------------------
+    def query(self) -> Query:
+        selects = [self.select()]
+        while self.peek_kw("union"):
+            self.next()
+            self.expect_kw("all")
+            selects.append(self.select())
+        order_by: tuple[int, ...] = ()
+        if self.take_kw("order"):
+            self.expect_kw("by")
+            positions = [int(self.next())]
+            while self.take(","):
+                positions.append(int(self.next()))
+            order_by = tuple(positions)
+        if self.peek() is not None:
+            raise SQLParseError(f"trailing tokens: {self.tokens[self.pos:]}")
+        return Query(selects=tuple(selects), order_by=order_by)
+
+    def select(self) -> Select:
+        self.expect_kw("select")
+        items = [self.select_item()]
+        while self.take(","):
+            items.append(self.select_item())
+        self.expect_kw("from")
+        tables = [self.table_ref()]
+        while self.take(","):
+            tables.append(self.table_ref())
+        where = None
+        if self.take_kw("where"):
+            where = self.bool_expr()
+        return Select(tuple(items), tuple(tables), where)
+
+    def select_item(self) -> SelectItem:
+        expr = self.scalar()
+        alias = ""
+        if self.take_kw("as"):
+            alias = self.identifier()
+        return SelectItem(expr, alias)
+
+    def table_ref(self) -> TableRef:
+        table = self.identifier()
+        alias = table
+        token = self.peek()
+        if token is not None and token.lower() not in _KEYWORDS and \
+                re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", token):
+            alias = self.next()
+        return TableRef(table, alias)
+
+    def scalar(self) -> Scalar:
+        token = self.peek()
+        if token is None:
+            raise SQLParseError("unexpected end of SQL in expression")
+        if token.lower() == "null":
+            self.next()
+            return Literal(None)
+        if token.startswith("'"):
+            self.next()
+            return Literal(token[1:-1].replace("''", "'"))
+        if re.fullmatch(r"-?\d+", token):
+            self.next()
+            return Literal(int(token))
+        if re.fullmatch(r"-?\d+\.\d+", token):
+            self.next()
+            return Literal(float(token))
+        name = self.identifier()
+        if self.take("."):
+            return ColumnRef(name, self.identifier())
+        return ColumnRef("", name)
+
+    # WHERE grammar: or_expr := and_expr (OR and_expr)*
+    def bool_expr(self) -> BoolExpr:
+        items = [self.and_expr()]
+        while self.take_kw("or"):
+            items.append(self.and_expr())
+        if len(items) == 1:
+            return items[0]
+        return Or(tuple(items))
+
+    def and_expr(self) -> BoolExpr:
+        items = [self.atom_expr()]
+        while self.take_kw("and"):
+            items.append(self.atom_expr())
+        if len(items) == 1:
+            return items[0]
+        return And(tuple(items))
+
+    def atom_expr(self) -> BoolExpr:
+        if self.take_kw("exists"):
+            self.expect("(")
+            subquery = self.select()
+            self.expect(")")
+            return Exists(subquery)
+        if self.take("("):
+            inner = self.bool_expr()
+            self.expect(")")
+            return inner
+        left = self.scalar()
+        if self.take_kw("is"):
+            negated = self.take_kw("not")
+            self.expect_kw("null")
+            if not isinstance(left, ColumnRef):
+                raise SQLParseError("IS NULL requires a column operand")
+            return IsNull(left, negated=negated)
+        op_token = self.next()
+        op = _OPS.get(op_token)
+        if op is None:
+            raise SQLParseError(f"expected a comparison operator, found {op_token!r}")
+        right = self.scalar()
+        return Comparison(left, op, right)
+
+
+def parse_sql(text: str) -> Query:
+    """Parse SQL text into a :class:`~repro.sqlast.ast.Query`."""
+    return _Parser(_tokenize(text)).query()

@@ -1,0 +1,5 @@
+"""XPath-to-SQL translation (sorted outer union)."""
+
+from .xpath_to_sql import Translator, resolve_steps, translate_xpath
+
+__all__ = ["Translator", "translate_xpath", "resolve_steps"]

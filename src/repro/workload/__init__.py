@@ -1,0 +1,16 @@
+"""Workload model and random generator (paper Section 5.1.3)."""
+
+from .generator import (HIGH_PROJECTIONS, HIGH_SELECTIVITY, LOW_PROJECTIONS,
+                        LOW_SELECTIVITY, WorkloadGenerator)
+from .model import WeightedQuery, WeightedUpdate, Workload
+
+__all__ = [
+    "Workload",
+    "WeightedQuery",
+    "WeightedUpdate",
+    "WorkloadGenerator",
+    "LOW_SELECTIVITY",
+    "HIGH_SELECTIVITY",
+    "LOW_PROJECTIONS",
+    "HIGH_PROJECTIONS",
+]

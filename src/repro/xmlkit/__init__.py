@@ -1,0 +1,17 @@
+"""XML document model, parser, and serializer (built from scratch)."""
+
+from .doc import Document, Element, count_elements, element
+from .parser import parse, parse_file
+from .writer import escape_attribute, escape_text, serialize
+
+__all__ = [
+    "Document",
+    "Element",
+    "element",
+    "count_elements",
+    "parse",
+    "parse_file",
+    "serialize",
+    "escape_text",
+    "escape_attribute",
+]

@@ -1,0 +1,173 @@
+"""A small XML document object model.
+
+The model is intentionally minimal: elements, attributes, and text. It is
+the substrate both for the XPath reference evaluator and for the shredder
+that loads XML into the relational engine. Mixed content is supported
+(text interleaved with child elements) but the shredding layer only uses
+element/attribute/text-leaf structure, matching the paper's data model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class Element:
+    """An XML element node.
+
+    Parameters
+    ----------
+    tag:
+        The element name.
+    attributes:
+        Mapping of attribute name to string value.
+    """
+
+    __slots__ = ("tag", "attributes", "_children", "_texts", "parent")
+
+    def __init__(self, tag: str, attributes: dict[str, str] | None = None):
+        self.tag = tag
+        self.attributes: dict[str, str] = dict(attributes or {})
+        # _children[i] is preceded by _texts[i]; _texts has one extra
+        # trailing entry so text after the last child is representable.
+        self._children: list[Element] = []
+        self._texts: list[str] = [""]
+        self.parent: Element | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def append(self, child: "Element") -> "Element":
+        """Attach ``child`` as the last child element and return it."""
+        child.parent = self
+        self._children.append(child)
+        self._texts.append("")
+        return child
+
+    def add_text(self, text: str) -> None:
+        """Append character data at the current position."""
+        self._texts[-1] += text
+
+    def make_child(self, tag: str, text: str | None = None,
+                   attributes: dict[str, str] | None = None) -> "Element":
+        """Create, attach, and return a child element.
+
+        Convenience used heavily by the synthetic data generators.
+        """
+        child = Element(tag, attributes)
+        if text is not None:
+            child.add_text(text)
+        return self.append(child)
+
+    # ------------------------------------------------------------------
+    # Navigation
+    # ------------------------------------------------------------------
+    @property
+    def children(self) -> tuple["Element", ...]:
+        """Child elements, in document order."""
+        return tuple(self._children)
+
+    def find_all(self, tag: str) -> list["Element"]:
+        """Direct children with the given tag."""
+        return [c for c in self._children if c.tag == tag]
+
+    def find(self, tag: str) -> "Element | None":
+        """First direct child with the given tag, or ``None``."""
+        for child in self._children:
+            if child.tag == tag:
+                return child
+        return None
+
+    def iter(self) -> Iterator["Element"]:
+        """Depth-first pre-order iterator over this element and descendants."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node._children))
+
+    def descendants(self, tag: str | None = None) -> Iterator["Element"]:
+        """All strict descendants, optionally filtered by tag."""
+        for node in self.iter():
+            if node is self:
+                continue
+            if tag is None or node.tag == tag:
+                yield node
+
+    # ------------------------------------------------------------------
+    # Content
+    # ------------------------------------------------------------------
+    @property
+    def text(self) -> str:
+        """Concatenated character data directly inside this element."""
+        return "".join(self._texts)
+
+    @property
+    def text_segments(self) -> tuple[str, ...]:
+        """Raw text segments interleaved with children (for serialization)."""
+        return tuple(self._texts)
+
+    def string_value(self) -> str:
+        """XPath string-value: all descendant text concatenated in order."""
+        parts: list[str] = []
+
+        def walk(el: Element) -> None:
+            for i, child in enumerate(el._children):
+                parts.append(el._texts[i])
+                walk(child)
+            parts.append(el._texts[len(el._children)])
+
+        walk(self)
+        return "".join(parts)
+
+    # ------------------------------------------------------------------
+    # Dunder
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Element {self.tag!r} children={len(self._children)}>"
+
+    def __iter__(self) -> Iterator["Element"]:
+        return iter(self._children)
+
+    def __len__(self) -> int:
+        return len(self._children)
+
+
+class Document:
+    """An XML document: a root element plus optional declaration info."""
+
+    __slots__ = ("root", "version", "encoding")
+
+    def __init__(self, root: Element, version: str = "1.0", encoding: str = "UTF-8"):
+        self.root = root
+        self.version = version
+        self.encoding = encoding
+
+    def iter(self) -> Iterator[Element]:
+        """Depth-first pre-order iterator over all elements."""
+        return self.root.iter()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Document root={self.root.tag!r}>"
+
+
+def element(tag: str, *children: "Element | str",
+            attributes: dict[str, str] | None = None) -> Element:
+    """Functional helper to build element trees in tests and examples.
+
+    Strings become text content; elements become children, in order::
+
+        element("movie", element("title", "Titanic"), element("year", "1997"))
+    """
+    el = Element(tag, attributes)
+    for child in children:
+        if isinstance(child, str):
+            el.add_text(child)
+        else:
+            el.append(child)
+    return el
+
+
+def count_elements(nodes: Iterable[Element]) -> int:
+    """Total number of elements in the given forests (used by stats)."""
+    return sum(1 for root in nodes for _ in root.iter())

@@ -1,0 +1,245 @@
+"""A from-scratch, non-validating XML parser.
+
+Supports the subset of XML needed for data files and XSD documents:
+
+* elements with attributes (single- or double-quoted)
+* character data with the five predefined entities and numeric references
+* comments, processing instructions, CDATA sections, and DOCTYPE
+  declarations (skipped)
+* an optional XML declaration
+
+It is deliberately strict about well-formedness (mismatched tags, stray
+``<``, unterminated constructs all raise :class:`~repro.errors.XMLParseError`
+with a line/column) because the shredder must never load garbage silently.
+"""
+
+from __future__ import annotations
+
+from ..errors import XMLParseError
+from .doc import Document, Element
+
+_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": '"'}
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+
+
+class _Scanner:
+    """Cursor over the input text with line/column tracking."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    def location(self, pos: int | None = None) -> tuple[int, int]:
+        """Return (line, column), both 1-based, for a position."""
+        if pos is None:
+            pos = self.pos
+        line = self.text.count("\n", 0, pos) + 1
+        last_nl = self.text.rfind("\n", 0, pos)
+        column = pos - last_nl
+        return line, column
+
+    def error(self, message: str, pos: int | None = None) -> XMLParseError:
+        line, column = self.location(pos)
+        return XMLParseError(message, line, column)
+
+    def at_end(self) -> bool:
+        return self.pos >= self.length
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < self.length else ""
+
+    def startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def advance(self, count: int = 1) -> None:
+        self.pos += count
+
+    def skip_whitespace(self) -> None:
+        while self.pos < self.length and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def expect(self, token: str) -> None:
+        if not self.text.startswith(token, self.pos):
+            raise self.error(f"expected {token!r}")
+        self.pos += len(token)
+
+    def read_until(self, token: str, construct: str) -> str:
+        end = self.text.find(token, self.pos)
+        if end < 0:
+            raise self.error(f"unterminated {construct}")
+        value = self.text[self.pos:end]
+        self.pos = end + len(token)
+        return value
+
+    def read_name(self) -> str:
+        start = self.pos
+        if self.pos >= self.length or self.text[self.pos] not in _NAME_START:
+            raise self.error("expected a name")
+        self.pos += 1
+        while self.pos < self.length and self.text[self.pos] in _NAME_CHARS:
+            self.pos += 1
+        return self.text[start:self.pos]
+
+
+def _decode_entities(raw: str, scanner: _Scanner, at: int) -> str:
+    """Replace entity and character references in character data."""
+    if "&" not in raw:
+        return raw
+    out: list[str] = []
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = raw.find(";", i + 1)
+        if end < 0:
+            raise scanner.error("unterminated entity reference", at + i)
+        name = raw[i + 1:end]
+        if name.startswith("#x") or name.startswith("#X"):
+            try:
+                out.append(chr(int(name[2:], 16)))
+            except ValueError:
+                raise scanner.error(f"bad character reference &{name};", at + i) from None
+        elif name.startswith("#"):
+            try:
+                out.append(chr(int(name[1:])))
+            except ValueError:
+                raise scanner.error(f"bad character reference &{name};", at + i) from None
+        elif name in _ENTITIES:
+            out.append(_ENTITIES[name])
+        else:
+            raise scanner.error(f"unknown entity &{name};", at + i)
+        i = end + 1
+    return "".join(out)
+
+
+def _parse_attributes(scanner: _Scanner) -> dict[str, str]:
+    attributes: dict[str, str] = {}
+    while True:
+        scanner.skip_whitespace()
+        ch = scanner.peek()
+        if ch in (">", "/", "?", ""):
+            return attributes
+        name = scanner.read_name()
+        scanner.skip_whitespace()
+        scanner.expect("=")
+        scanner.skip_whitespace()
+        quote = scanner.peek()
+        if quote not in ("'", '"'):
+            raise scanner.error("attribute value must be quoted")
+        scanner.advance()
+        at = scanner.pos
+        raw = scanner.read_until(quote, "attribute value")
+        if name in attributes:
+            raise scanner.error(f"duplicate attribute {name!r}", at)
+        attributes[name] = _decode_entities(raw, scanner, at)
+
+
+def _skip_misc(scanner: _Scanner) -> None:
+    """Skip comments, PIs, and DOCTYPE between/around elements."""
+    while True:
+        scanner.skip_whitespace()
+        if scanner.startswith("<!--"):
+            scanner.advance(4)
+            scanner.read_until("-->", "comment")
+        elif scanner.startswith("<?"):
+            scanner.advance(2)
+            scanner.read_until("?>", "processing instruction")
+        elif scanner.startswith("<!DOCTYPE"):
+            # Skip to the matching '>' allowing one level of [...] subset.
+            depth = 0
+            while not scanner.at_end():
+                ch = scanner.peek()
+                scanner.advance()
+                if ch == "[":
+                    depth += 1
+                elif ch == "]":
+                    depth -= 1
+                elif ch == ">" and depth <= 0:
+                    break
+            else:
+                raise scanner.error("unterminated DOCTYPE")
+        else:
+            return
+
+
+def parse(text: str) -> Document:
+    """Parse XML text into a :class:`~repro.xmlkit.doc.Document`."""
+    scanner = _Scanner(text)
+    version, encoding = "1.0", "UTF-8"
+    scanner.skip_whitespace()
+    if scanner.startswith("<?xml"):
+        scanner.advance(5)
+        declared = _parse_attributes(scanner)
+        scanner.skip_whitespace()
+        scanner.expect("?>")
+        version = declared.get("version", version)
+        encoding = declared.get("encoding", encoding)
+    _skip_misc(scanner)
+    if scanner.peek() != "<":
+        raise scanner.error("expected root element")
+    root = _parse_element(scanner)
+    _skip_misc(scanner)
+    if not scanner.at_end():
+        raise scanner.error("content after root element")
+    return Document(root, version=version, encoding=encoding)
+
+
+def parse_file(path: str) -> Document:
+    """Parse an XML file (UTF-8) into a Document."""
+    with open(path, encoding="utf-8") as handle:
+        return parse(handle.read())
+
+
+def _parse_element(scanner: _Scanner) -> Element:
+    scanner.expect("<")
+    tag = scanner.read_name()
+    attributes = _parse_attributes(scanner)
+    element = Element(tag, attributes)
+    scanner.skip_whitespace()
+    if scanner.startswith("/>"):
+        scanner.advance(2)
+        return element
+    scanner.expect(">")
+    _parse_content(scanner, element)
+    return element
+
+
+def _parse_content(scanner: _Scanner, element: Element) -> None:
+    """Parse mixed content up to and including this element's end tag."""
+    while True:
+        if scanner.at_end():
+            raise scanner.error(f"unterminated element <{element.tag}>")
+        if scanner.startswith("</"):
+            scanner.advance(2)
+            name = scanner.read_name()
+            if name != element.tag:
+                raise scanner.error(
+                    f"mismatched end tag </{name}> for <{element.tag}>")
+            scanner.skip_whitespace()
+            scanner.expect(">")
+            return
+        if scanner.startswith("<!--"):
+            scanner.advance(4)
+            scanner.read_until("-->", "comment")
+        elif scanner.startswith("<![CDATA["):
+            scanner.advance(9)
+            element.add_text(scanner.read_until("]]>", "CDATA section"))
+        elif scanner.startswith("<?"):
+            scanner.advance(2)
+            scanner.read_until("?>", "processing instruction")
+        elif scanner.peek() == "<":
+            element.append(_parse_element(scanner))
+        else:
+            start = scanner.pos
+            end = scanner.text.find("<", start)
+            if end < 0:
+                raise scanner.error(f"unterminated element <{element.tag}>")
+            raw = scanner.text[start:end]
+            scanner.pos = end
+            element.add_text(_decode_entities(raw, scanner, start))

@@ -1,0 +1,16 @@
+"""XPath subset: AST, parser, and reference evaluator."""
+
+from .ast import Axis, CompareOp, Predicate, Step, XPathQuery
+from .evaluate import evaluate, evaluate_values
+from .parser import parse_xpath
+
+__all__ = [
+    "Axis",
+    "CompareOp",
+    "Predicate",
+    "Step",
+    "XPathQuery",
+    "parse_xpath",
+    "evaluate",
+    "evaluate_values",
+]

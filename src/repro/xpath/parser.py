@@ -1,0 +1,169 @@
+"""Recursive-descent parser for the XPath subset.
+
+Grammar::
+
+    query      := abspath ( "/" "(" relpath ("|" relpath)* ")" )?
+    abspath    := (("/" | "//") step)+
+    step       := NAME predicate?
+    predicate  := "[" relpath ( op literal )? "]"
+    relpath    := "//"? step (("/" | "//") step)*
+    op         := "=" | "!=" | "<" | "<=" | ">" | ">="
+    literal    := '"' chars '"' | "'" chars "'" | number
+
+At most one predicate is allowed per query (the paper's queries have a
+single selection path); more than one raises ``XPathError``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import XPathError
+from .ast import Axis, CompareOp, Predicate, Step, XPathQuery
+
+_NAME_RE = re.compile(r"[A-Za-z_][\w.\-]*")
+_NUMBER_RE = re.compile(r"-?\d+(\.\d+)?")
+# Longest-match first so "<=" wins over "<".
+_OPS = ["!=", "<=", ">=", "=", "<", ">"]
+
+
+class _Cursor:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def at_end(self) -> bool:
+        self.skip_ws()
+        return self.pos >= len(self.text)
+
+    def peek(self, token: str) -> bool:
+        self.skip_ws()
+        return self.text.startswith(token, self.pos)
+
+    def take(self, token: str) -> bool:
+        if self.peek(token):
+            self.pos += len(token)
+            return True
+        return False
+
+    def expect(self, token: str) -> None:
+        if not self.take(token):
+            raise XPathError(
+                f"expected {token!r} at position {self.pos} in {self.text!r}")
+
+    def name(self) -> str:
+        """An element name, or ``@name`` for an attribute step."""
+        self.skip_ws()
+        prefix = ""
+        if self.pos < len(self.text) and self.text[self.pos] == "@":
+            prefix = "@"
+            self.pos += 1
+        match = _NAME_RE.match(self.text, self.pos)
+        if not match:
+            raise XPathError(
+                f"expected a name at position {self.pos} in {self.text!r}")
+        self.pos = match.end()
+        return prefix + match.group(0)
+
+
+def _parse_axis(cursor: _Cursor, default: Axis | None = None) -> Axis | None:
+    if cursor.take("//"):
+        return Axis.DESCENDANT
+    if cursor.take("/"):
+        return Axis.CHILD
+    return default
+
+
+def _parse_relpath(cursor: _Cursor) -> tuple[Step, ...]:
+    axis = _parse_axis(cursor, default=Axis.CHILD)
+    steps = [Step(axis, cursor.name())]
+    while True:
+        axis = _parse_axis(cursor)
+        if axis is None:
+            return tuple(steps)
+        steps.append(Step(axis, cursor.name()))
+
+
+def _parse_literal(cursor: _Cursor) -> str:
+    cursor.skip_ws()
+    text = cursor.text
+    if cursor.pos < len(text) and text[cursor.pos] in "\"'":
+        quote = text[cursor.pos]
+        end = text.find(quote, cursor.pos + 1)
+        if end < 0:
+            raise XPathError(f"unterminated string literal in {text!r}")
+        value = text[cursor.pos + 1:end]
+        cursor.pos = end + 1
+        return value
+    match = _NUMBER_RE.match(text, cursor.pos)
+    if match:
+        cursor.pos = match.end()
+        return match.group(0)
+    raise XPathError(f"expected a literal at position {cursor.pos} in {text!r}")
+
+
+def _parse_predicate(cursor: _Cursor) -> Predicate:
+    cursor.expect("[")
+    path = _parse_relpath(cursor)
+    cursor.skip_ws()
+    op = None
+    value = None
+    for candidate in _OPS:
+        if cursor.take(candidate):
+            op = CompareOp(candidate)
+            value = _parse_literal(cursor)
+            break
+    cursor.expect("]")
+    return Predicate(path=path, op=op, value=value)
+
+
+def parse_xpath(text: str) -> XPathQuery:
+    """Parse an XPath expression into an :class:`XPathQuery`."""
+    cursor = _Cursor(text)
+    steps: list[Step] = []
+    predicate: Predicate | None = None
+    predicate_step: int | None = None
+    projections: tuple[tuple[Step, ...], ...] = ()
+
+    axis = _parse_axis(cursor)
+    if axis is None:
+        raise XPathError(f"query must start with '/' or '//': {text!r}")
+    while True:
+        # A '(' after the axis starts the projection group.
+        if cursor.peek("("):
+            cursor.expect("(")
+            paths = [_parse_relpath(cursor)]
+            while cursor.take("|"):
+                paths.append(_parse_relpath(cursor))
+            cursor.expect(")")
+            projections = tuple(paths)
+            if not cursor.at_end():
+                raise XPathError(f"content after projection group in {text!r}")
+            break
+        steps.append(Step(axis, cursor.name()))
+        if cursor.peek("["):
+            if predicate is not None:
+                raise XPathError(
+                    f"only one predicate per query is supported: {text!r}")
+            predicate = _parse_predicate(cursor)
+            predicate_step = len(steps) - 1
+        next_axis = _parse_axis(cursor)
+        if next_axis is None:
+            if not cursor.at_end():
+                raise XPathError(
+                    f"unexpected trailing content at position {cursor.pos} "
+                    f"in {text!r}")
+            break
+        axis = next_axis
+    if not steps:
+        raise XPathError(f"empty context path in {text!r}")
+    return XPathQuery(
+        steps=tuple(steps),
+        predicate=predicate,
+        predicate_step=predicate_step,
+        projections=projections,
+    )

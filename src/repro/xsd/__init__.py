@@ -1,0 +1,22 @@
+"""XSD schema trees: model, parsers (XSD subset + DTD), and validation."""
+
+from .dtd import parse_dtd
+from .nodes import UNBOUNDED, BaseType, NodeKind, SchemaNode
+from .parser import parse_xsd, parse_xsd_file
+from .tree import SchemaTree, TreeBuilder, walk_particles
+from .validate import Validator, validate
+
+__all__ = [
+    "BaseType",
+    "NodeKind",
+    "SchemaNode",
+    "SchemaTree",
+    "TreeBuilder",
+    "UNBOUNDED",
+    "walk_particles",
+    "parse_xsd",
+    "parse_xsd_file",
+    "parse_dtd",
+    "Validator",
+    "validate",
+]

@@ -1,0 +1,364 @@
+"""The schema tree ``T(V, E, A)`` and its builder.
+
+Structural conventions
+----------------------
+
+* A ``TAG`` node's children are its content particles, in order. A leaf
+  element has a single ``SIMPLE`` child.
+* ``REPETITION`` and ``OPTION`` nodes have exactly one child.
+* ``CHOICE`` nodes have two or more children.
+* ``SEQUENCE`` nodes are only produced by associativity groupings; the
+  builder emits flat particle lists.
+
+Any ``TAG`` node whose in-degree is not one in the paper's sense — the
+root, and any element under a ``REPETITION`` — *must* carry a table
+annotation in every mapping (they cannot be inlined into a parent row).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from ..errors import SchemaTreeError
+from .nodes import UNBOUNDED, BaseType, NodeKind, SchemaNode
+
+
+class SchemaTree:
+    """An immutable-structure schema tree.
+
+    Build one with :class:`TreeBuilder` or the parsers in
+    :mod:`repro.xsd.parser` / :mod:`repro.xsd.dtd`.
+    """
+
+    def __init__(self, nodes: list[SchemaNode], root_id: int, name: str = "schema"):
+        self._nodes = nodes
+        self.root_id = root_id
+        self.name = name
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Basic access
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> SchemaNode:
+        """The node with the given id."""
+        try:
+            return self._nodes[node_id]
+        except IndexError:
+            raise SchemaTreeError(f"no node with id {node_id}") from None
+
+    @property
+    def root(self) -> SchemaNode:
+        return self._nodes[self.root_id]
+
+    @property
+    def nodes(self) -> tuple[SchemaNode, ...]:
+        return tuple(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def children(self, node: SchemaNode | int) -> list[SchemaNode]:
+        if isinstance(node, int):
+            node = self.node(node)
+        return [self._nodes[cid] for cid in node.child_ids]
+
+    def parent(self, node: SchemaNode | int) -> SchemaNode | None:
+        if isinstance(node, int):
+            node = self.node(node)
+        if node.parent_id is None:
+            return None
+        return self._nodes[node.parent_id]
+
+    def iter_nodes(self) -> Iterator[SchemaNode]:
+        """Pre-order traversal from the root."""
+        stack = [self.root_id]
+        while stack:
+            node = self._nodes[stack.pop()]
+            yield node
+            stack.extend(reversed(node.child_ids))
+
+    def nodes_of_kind(self, kind: NodeKind) -> list[SchemaNode]:
+        return [n for n in self.iter_nodes() if n.kind == kind]
+
+    # ------------------------------------------------------------------
+    # Classification helpers used by the mapping layer
+    # ------------------------------------------------------------------
+    def is_leaf_element(self, node: SchemaNode | int) -> bool:
+        """True for a TAG node whose only non-attribute child is SIMPLE."""
+        if isinstance(node, int):
+            node = self.node(node)
+        if node.kind != NodeKind.TAG:
+            return False
+        kids = [c for c in self.children(node)
+                if c.kind != NodeKind.ATTRIBUTE]
+        return len(kids) == 1 and kids[0].kind == NodeKind.SIMPLE
+
+    def is_attribute(self, node: SchemaNode | int) -> bool:
+        if isinstance(node, int):
+            node = self.node(node)
+        return node.kind == NodeKind.ATTRIBUTE
+
+    def is_value_node(self, node: SchemaNode | int) -> bool:
+        """Leaf element or attribute: anything holding one simple value."""
+        return self.is_leaf_element(node) or self.is_attribute(node)
+
+    def attributes_of(self, node: SchemaNode | int) -> list[SchemaNode]:
+        """ATTRIBUTE children of a TAG node."""
+        if isinstance(node, int):
+            node = self.node(node)
+        return [c for c in self.children(node)
+                if c.kind == NodeKind.ATTRIBUTE]
+
+    def leaf_base_type(self, node: SchemaNode | int) -> BaseType:
+        """Base type of a leaf element or attribute."""
+        if isinstance(node, int):
+            node = self.node(node)
+        if not self.is_value_node(node):
+            raise SchemaTreeError(f"{node!r} is not a leaf element/attribute")
+        simple = [c for c in self.children(node)
+                  if c.kind == NodeKind.SIMPLE]
+        base = simple[0].base_type
+        assert base is not None
+        return base
+
+    def must_annotate(self, node: SchemaNode | int) -> bool:
+        """Whether this TAG node must map to its own table in any mapping.
+
+        Per Section 2: any node with in-degree not equal to one — the
+        root, or an element under a ``*`` — must have an annotation.
+        """
+        if isinstance(node, int):
+            node = self.node(node)
+        if node.kind != NodeKind.TAG:
+            return False
+        if node.node_id == self.root_id:
+            return True
+        parent = self.parent(node)
+        return parent is not None and parent.kind == NodeKind.REPETITION
+
+    def nearest_tag_ancestor(self, node: SchemaNode | int) -> SchemaNode | None:
+        """Closest enclosing TAG node (skipping constructor nodes)."""
+        if isinstance(node, int):
+            node = self.node(node)
+        current = self.parent(node)
+        while current is not None and current.kind != NodeKind.TAG:
+            current = self.parent(current)
+        return current
+
+    def enclosing_repetition(self, node: SchemaNode | int) -> SchemaNode | None:
+        """The REPETITION node directly above this node, if any.
+
+        Constructor nodes (OPTION/CHOICE/SEQUENCE) between the node and
+        the repetition are skipped, but a TAG boundary stops the walk.
+        """
+        if isinstance(node, int):
+            node = self.node(node)
+        current = self.parent(node)
+        while current is not None and current.kind not in (NodeKind.TAG, NodeKind.REPETITION):
+            current = self.parent(current)
+        if current is not None and current.kind == NodeKind.REPETITION:
+            return current
+        return None
+
+    def tag_path(self, node: SchemaNode | int) -> tuple[str, ...]:
+        """Tag names from the root down to (and including) this node.
+
+        Only TAG nodes contribute; constructor nodes are transparent.
+        """
+        if isinstance(node, int):
+            node = self.node(node)
+        names: list[str] = []
+        current: SchemaNode | None = node
+        while current is not None:
+            if current.kind == NodeKind.TAG:
+                names.append(current.name)
+            current = self.parent(current)
+        return tuple(reversed(names))
+
+    def find_tags(self, name: str) -> list[SchemaNode]:
+        """All TAG nodes with the given element name."""
+        return [n for n in self.iter_nodes()
+                if n.kind == NodeKind.TAG and n.name == name]
+
+    def find_tag_by_path(self, path: tuple[str, ...] | list[str]) -> SchemaNode:
+        """The unique TAG node at an absolute tag path (root included)."""
+        matches = [n for n in self.iter_nodes()
+                   if n.kind == NodeKind.TAG and self.tag_path(n) == tuple(path)]
+        if not matches:
+            raise SchemaTreeError(f"no element at path {'/'.join(path)!r}")
+        if len(matches) > 1:
+            raise SchemaTreeError(f"ambiguous path {'/'.join(path)!r}")
+        return matches[0]
+
+    # ------------------------------------------------------------------
+    # Structural equivalence (for shared types / type merge)
+    # ------------------------------------------------------------------
+    def structural_signature(self, node: SchemaNode | int) -> tuple:
+        """A hashable signature capturing the subtree's structure.
+
+        Two nodes are *logically equivalent* (candidates for type merge /
+        shared types) when their signatures are equal. Annotations are
+        deliberately excluded.
+        """
+        if isinstance(node, int):
+            node = self.node(node)
+        children = tuple(self.structural_signature(c) for c in self.children(node))
+        occurs = (node.min_occurs, node.max_occurs) if node.kind == NodeKind.REPETITION else ()
+        base = node.base_type.value if node.base_type is not None else ""
+        return (node.kind.value, node.name, base, occurs, children)
+
+    def equivalent(self, a: SchemaNode | int, b: SchemaNode | int) -> bool:
+        return self.structural_signature(a) == self.structural_signature(b)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if not self._nodes:
+            raise SchemaTreeError("schema tree has no nodes")
+        root = self._nodes[self.root_id]
+        if root.kind != NodeKind.TAG:
+            raise SchemaTreeError("root node must be a TAG")
+        for node in self._nodes:
+            if node.node_id != self._nodes.index(node):
+                pass  # ids are positional; enforced by the builder
+            if node.kind in (NodeKind.REPETITION, NodeKind.OPTION):
+                if len(node.child_ids) != 1:
+                    raise SchemaTreeError(
+                        f"{node.kind.value} node #{node.node_id} must have exactly one child")
+            if node.kind == NodeKind.CHOICE and len(node.child_ids) < 2:
+                raise SchemaTreeError(
+                    f"choice node #{node.node_id} must have at least two children")
+            if node.kind == NodeKind.ATTRIBUTE:
+                parent = self.parent(node)
+                if parent is None or parent.kind != NodeKind.TAG:
+                    raise SchemaTreeError(
+                        f"attribute node #{node.node_id} must sit on a TAG")
+                kids = self.children(node)
+                if len(kids) != 1 or kids[0].kind != NodeKind.SIMPLE:
+                    raise SchemaTreeError(
+                        f"attribute node #{node.node_id} needs one simple type")
+            if node.kind == NodeKind.SIMPLE:
+                if node.child_ids:
+                    raise SchemaTreeError("simple nodes cannot have children")
+                if node.base_type is None:
+                    raise SchemaTreeError("simple nodes must carry a base type")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SchemaTree {self.name!r} nodes={len(self._nodes)}>"
+
+    def pretty(self) -> str:
+        """Human-readable indented dump (used in docs and debugging)."""
+        lines: list[str] = []
+
+        def walk(node: SchemaNode, depth: int) -> None:
+            label = node.name or node.kind.value
+            marks = ""
+            if node.kind == NodeKind.REPETITION:
+                bound = "*" if node.max_occurs == UNBOUNDED else str(node.max_occurs)
+                marks = f" [{node.min_occurs}..{bound}]"
+            if node.annotation:
+                marks += f" ({node.annotation})"
+            lines.append("  " * depth + f"{node.kind.value}:{label}{marks}")
+            for child in self.children(node):
+                walk(child, depth + 1)
+
+        walk(self.root, 0)
+        return "\n".join(lines)
+
+
+class TreeBuilder:
+    """Fluent builder for schema trees.
+
+    Example::
+
+        b = TreeBuilder("movie-db")
+        movies = b.tag("movies", annotation="movies")
+        movie = b.tag("movie", parent=b.rep(movies), annotation="movie")
+        b.leaf("title", movie)
+        b.leaf("year", movie, BaseType.INTEGER)
+        tree = b.build(root=movies)
+    """
+
+    def __init__(self, name: str = "schema"):
+        self.name = name
+        self._nodes: list[SchemaNode] = []
+
+    def _add(self, kind: NodeKind, parent: SchemaNode | None, **kwargs) -> SchemaNode:
+        node = SchemaNode(node_id=len(self._nodes), kind=kind, **kwargs)
+        if parent is not None:
+            node.parent_id = parent.node_id
+            parent.child_ids.append(node.node_id)
+        self._nodes.append(node)
+        return node
+
+    def tag(self, name: str, parent: SchemaNode | None = None,
+            annotation: str | None = None) -> SchemaNode:
+        return self._add(NodeKind.TAG, parent, name=name, annotation=annotation)
+
+    def rep(self, parent: SchemaNode, min_occurs: int = 0,
+            max_occurs: int = UNBOUNDED) -> SchemaNode:
+        return self._add(NodeKind.REPETITION, parent,
+                         min_occurs=min_occurs, max_occurs=max_occurs)
+
+    def opt(self, parent: SchemaNode) -> SchemaNode:
+        return self._add(NodeKind.OPTION, parent, min_occurs=0, max_occurs=1)
+
+    def choice(self, parent: SchemaNode) -> SchemaNode:
+        return self._add(NodeKind.CHOICE, parent)
+
+    def seq(self, parent: SchemaNode) -> SchemaNode:
+        return self._add(NodeKind.SEQUENCE, parent)
+
+    def attribute(self, name: str, parent: SchemaNode,
+                  base_type: BaseType = BaseType.STRING,
+                  required: bool = False) -> SchemaNode:
+        """Declare an XML attribute on a TAG node.
+
+        ``min_occurs`` encodes use: 1 = required, 0 = optional.
+        """
+        node = self._add(NodeKind.ATTRIBUTE, parent, name=name,
+                         min_occurs=1 if required else 0, max_occurs=1)
+        self.simple(node, base_type)
+        return node
+
+    def simple(self, parent: SchemaNode, base_type: BaseType = BaseType.STRING) -> SchemaNode:
+        return self._add(NodeKind.SIMPLE, parent, name=base_type.value,
+                         base_type=base_type)
+
+    def leaf(self, name: str, parent: SchemaNode,
+             base_type: BaseType = BaseType.STRING,
+             annotation: str | None = None) -> SchemaNode:
+        """Create ``<name>`` as a leaf element with a simple type."""
+        tag = self.tag(name, parent, annotation=annotation)
+        self.simple(tag, base_type)
+        return tag
+
+    def optional_leaf(self, name: str, parent: SchemaNode,
+                      base_type: BaseType = BaseType.STRING) -> SchemaNode:
+        """Create ``<name>?`` — returns the TAG node."""
+        option = self.opt(parent)
+        return self.leaf(name, option, base_type)
+
+    def repeated_leaf(self, name: str, parent: SchemaNode,
+                      base_type: BaseType = BaseType.STRING,
+                      annotation: str | None = None,
+                      max_occurs: int = UNBOUNDED) -> SchemaNode:
+        """Create ``<name>*`` — returns the TAG node (annotated)."""
+        rep = self.rep(parent, max_occurs=max_occurs)
+        return self.leaf(name, rep, base_type, annotation=annotation or name)
+
+    def build(self, root: SchemaNode) -> SchemaTree:
+        return SchemaTree(self._nodes, root.node_id, name=self.name)
+
+
+def walk_particles(tree: SchemaTree, tag: SchemaNode,
+                   visit: Callable[[SchemaNode], None]) -> None:
+    """Visit every descendant particle of ``tag`` without crossing into
+    nested TAG subtrees (their particles belong to the nested element)."""
+    stack = list(reversed(tree.children(tag)))
+    while stack:
+        node = stack.pop()
+        visit(node)
+        if node.kind != NodeKind.TAG:
+            stack.extend(reversed(tree.children(node)))

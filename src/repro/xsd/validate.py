@@ -1,0 +1,177 @@
+"""Validate XML instances against a schema tree.
+
+This is a structural validator: it checks element nesting and occurrence
+constraints against the content models of the schema tree, and checks
+that leaf values are lexically valid for their base type. The shredder
+relies on documents having been validated, so the loader runs this first
+by default.
+"""
+
+from __future__ import annotations
+
+from ..errors import ValidationError
+from ..xmlkit import Document, Element
+from .nodes import UNBOUNDED, BaseType, NodeKind, SchemaNode
+from .tree import SchemaTree
+
+
+def _check_base_value(value: str, base_type: BaseType, path: str) -> None:
+    try:
+        if base_type == BaseType.INTEGER:
+            int(value.strip())
+        elif base_type == BaseType.DECIMAL:
+            float(value.strip())
+        elif base_type == BaseType.BOOLEAN:
+            if value.strip() not in ("true", "false", "0", "1"):
+                raise ValueError(value)
+        elif base_type == BaseType.DATE:
+            parts = value.strip().split("-")
+            if len(parts) != 3 or not all(p.isdigit() for p in parts):
+                raise ValueError(value)
+    except ValueError:
+        raise ValidationError(
+            f"value {value!r} at {path} is not a valid {base_type.value}") from None
+
+
+class Validator:
+    """Validates documents/elements against a :class:`SchemaTree`."""
+
+    def __init__(self, tree: SchemaTree):
+        self.tree = tree
+
+    def validate(self, doc: Document | Element) -> None:
+        """Raise :class:`~repro.errors.ValidationError` on any violation."""
+        root = doc.root if isinstance(doc, Document) else doc
+        schema_root = self.tree.root
+        if root.tag != schema_root.name:
+            raise ValidationError(
+                f"root element <{root.tag}> does not match schema root "
+                f"<{schema_root.name}>")
+        self._validate_element(root, schema_root, f"/{root.tag}")
+
+    # ------------------------------------------------------------------
+    def _validate_element(self, el: Element, node: SchemaNode, path: str) -> None:
+        tree = self.tree
+        self._validate_attributes(el, node, path)
+        if tree.is_leaf_element(node):
+            if el.children:
+                raise ValidationError(
+                    f"element at {path} must be a leaf but has child elements")
+            _check_base_value(el.text, tree.leaf_base_type(node), path)
+            return
+        children = el.children
+        particles = [p for p in tree.children(node)
+                     if p.kind != NodeKind.ATTRIBUTE]
+        endpoints = self._match_sequence(particles, children, 0, path)
+        if len(children) not in endpoints:
+            consumed = max(endpoints, default=0)
+            offending = children[consumed].tag if consumed < len(children) else "(end)"
+            raise ValidationError(
+                f"content of {path} does not match its model near child "
+                f"#{consumed + 1} <{offending}>")
+        # Recurse into children against the matched TAG nodes.
+        self._recurse_children(particles, children, path)
+
+    def _recurse_children(self, particles: list[SchemaNode],
+                          children: tuple[Element, ...], path: str) -> None:
+        """Validate each child element against its TAG declaration.
+
+        Element names are unambiguous within one content model in our
+        schema subset, so we can dispatch by tag name.
+        """
+        by_name: dict[str, SchemaNode] = {}
+
+        def collect(nodes: list[SchemaNode]) -> None:
+            for particle in nodes:
+                if particle.kind == NodeKind.TAG:
+                    by_name.setdefault(particle.name, particle)
+                else:
+                    collect(self.tree.children(particle))
+
+        collect(particles)
+        for i, child in enumerate(children):
+            decl = by_name.get(child.tag)
+            if decl is None:
+                raise ValidationError(
+                    f"unexpected element <{child.tag}> inside {path}")
+            self._validate_element(child, decl, f"{path}/{child.tag}[{i + 1}]")
+
+    def _validate_attributes(self, el: Element, node: SchemaNode,
+                             path: str) -> None:
+        declared = {a.name: a for a in self.tree.attributes_of(node)}
+        for name, value in el.attributes.items():
+            decl = declared.get(name)
+            if decl is None:
+                raise ValidationError(
+                    f"unexpected attribute {name!r} at {path}")
+            _check_base_value(value, self.tree.leaf_base_type(decl),
+                              f"{path}/@{name}")
+        for name, decl in declared.items():
+            if decl.min_occurs >= 1 and name not in el.attributes:
+                raise ValidationError(
+                    f"missing required attribute {name!r} at {path}")
+
+    # ------------------------------------------------------------------
+    # Content-model matching (NFA-style set-of-positions simulation)
+    # ------------------------------------------------------------------
+    def _match_sequence(self, particles: list[SchemaNode],
+                        children: tuple[Element, ...], start: int,
+                        path: str) -> set[int]:
+        positions = {start}
+        for particle in particles:
+            next_positions: set[int] = set()
+            for pos in positions:
+                next_positions |= self._match_particle(particle, children, pos, path)
+            positions = next_positions
+            if not positions:
+                break
+        return positions
+
+    def _match_particle(self, particle: SchemaNode,
+                        children: tuple[Element, ...], pos: int,
+                        path: str) -> set[int]:
+        tree = self.tree
+        kind = particle.kind
+        if kind == NodeKind.SIMPLE:
+            return {pos}
+        if kind == NodeKind.TAG:
+            if pos < len(children) and children[pos].tag == particle.name:
+                return {pos + 1}
+            return set()
+        if kind == NodeKind.OPTION:
+            child = tree.children(particle)[0]
+            return {pos} | self._match_particle(child, children, pos, path)
+        if kind == NodeKind.CHOICE:
+            out: set[int] = set()
+            for branch in tree.children(particle):
+                out |= self._match_particle(branch, children, pos, path)
+            return out
+        if kind == NodeKind.SEQUENCE:
+            return self._match_sequence(tree.children(particle), children, pos, path)
+        if kind == NodeKind.REPETITION:
+            child = tree.children(particle)[0]
+            reachable: set[int] = set()
+            frontier = {pos}
+            count = 0
+            limit = particle.max_occurs
+            while frontier:
+                if count >= particle.min_occurs:
+                    reachable |= frontier
+                if limit != UNBOUNDED and count >= limit:
+                    break
+                new_frontier: set[int] = set()
+                for p in frontier:
+                    new_frontier |= self._match_particle(child, children, p, path)
+                # Guard against zero-width matches looping forever.
+                new_frontier -= frontier if new_frontier == frontier else set()
+                if new_frontier == frontier:
+                    break
+                frontier = new_frontier
+                count += 1
+            return reachable
+        raise ValidationError(f"unexpected particle kind {kind}")  # pragma: no cover
+
+
+def validate(doc: Document | Element, tree: SchemaTree) -> None:
+    """Module-level convenience wrapper around :class:`Validator`."""
+    Validator(tree).validate(doc)

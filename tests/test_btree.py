@@ -1,0 +1,129 @@
+"""Unit + property tests for the B+-tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import BPlusTree, encode_key
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.search(("x",)) == []
+        assert list(tree.scan_all()) == []
+
+    def test_insert_and_search(self):
+        tree = BPlusTree(order=4)
+        for i in range(100):
+            tree.insert((i,), f"v{i}")
+        assert tree.search((42,)) == ["v42"]
+        assert tree.search((1000,)) == []
+        assert len(tree) == 100
+
+    def test_duplicates(self):
+        tree = BPlusTree(order=4)
+        for i in range(50):
+            tree.insert(("dup",), i)
+        assert sorted(tree.search(("dup",))) == list(range(50))
+
+    def test_bulk_load_matches_inserts(self):
+        data = [((i % 17,), i) for i in range(200)]
+        bulk = BPlusTree.bulk_load(data)
+        incremental = BPlusTree(order=8)
+        for key, value in data:
+            incremental.insert(key, value)
+        for key in range(17):
+            assert sorted(bulk.search((key,))) == \
+                sorted(incremental.search((key,)))
+
+    def test_bulk_load_duplicates_across_leaves(self):
+        # Regression: duplicate keys spanning several leaves must all be
+        # found from the leftmost occurrence.
+        entries = [(("A",), i) for i in range(500)]
+        entries += [(("B",), i) for i in range(10)]
+        tree = BPlusTree.bulk_load(entries)
+        assert len(tree.search(("A",))) == 500
+        assert len(tree.search(("B",))) == 10
+
+    def test_range_scan_bounds(self):
+        tree = BPlusTree.bulk_load([((i,), i) for i in range(100)])
+        got = [p for _, p in tree.range_scan((10,), (20,))]
+        assert got == list(range(10, 21))
+        got = [p for _, p in tree.range_scan((10,), (20,),
+                                             lo_inclusive=False,
+                                             hi_inclusive=False)]
+        assert got == list(range(11, 20))
+
+    def test_range_scan_open_bounds(self):
+        tree = BPlusTree.bulk_load([((i,), i) for i in range(50)])
+        assert [p for _, p in tree.range_scan(None, (5,))] == list(range(6))
+        assert [p for _, p in tree.range_scan((45,), None)] == list(range(45, 50))
+
+    def test_prefix_range_on_composite_key(self):
+        entries = [((c, i), (c, i)) for c in "abc" for i in range(10)]
+        tree = BPlusTree.bulk_load(entries)
+        got = [p for _, p in tree.range_scan(("b",), ("b",))]
+        assert got == [("b", i) for i in range(10)]
+
+    def test_none_sorts_first(self):
+        tree = BPlusTree.bulk_load([((None,), "null"), ((1,), "one"),
+                                    (("z",), "str")])
+        scan = [p for _, p in tree.scan_all()]
+        assert scan == ["null", "one", "str"]
+
+    def test_mixed_type_keys(self):
+        tree = BPlusTree.bulk_load([((1,), "int"), (("1",), "str")])
+        assert tree.search((1,)) == ["int"]
+        assert tree.search(("1",)) == ["str"]
+
+    def test_order_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_scan_all_is_sorted(self):
+        values = random.Random(7).sample(range(10000), 1000)
+        tree = BPlusTree(order=8)
+        for v in values:
+            tree.insert((v,), v)
+        scanned = [p for _, p in tree.scan_all()]
+        assert scanned == sorted(values)
+
+
+class TestEncodeKey:
+    def test_total_order_none_first(self):
+        assert encode_key((None,)) < encode_key((0,)) < encode_key(("a",))
+
+    def test_numeric_before_string(self):
+        assert encode_key((999999,)) < encode_key(("0",))
+
+    def test_bool_as_int(self):
+        assert encode_key((True,)) == encode_key((1,))
+
+
+@given(st.lists(st.tuples(st.integers(-50, 50), st.integers(0, 10**6))))
+@settings(max_examples=100, deadline=None)
+def test_property_insert_then_search(pairs):
+    tree = BPlusTree(order=5)
+    for key, value in pairs:
+        tree.insert((key,), value)
+    by_key: dict[int, list[int]] = {}
+    for key, value in pairs:
+        by_key.setdefault(key, []).append(value)
+    for key, values in by_key.items():
+        assert sorted(tree.search((key,))) == sorted(values)
+    assert len(tree) == len(pairs)
+
+
+@given(st.lists(st.integers(-100, 100), min_size=1),
+       st.integers(-100, 100), st.integers(-100, 100))
+@settings(max_examples=100, deadline=None)
+def test_property_range_scan_equals_filter(values, a, b):
+    lo, hi = min(a, b), max(a, b)
+    tree = BPlusTree.bulk_load([((v,), v) for v in values])
+    got = sorted(p for _, p in tree.range_scan((lo,), (hi,)))
+    expected = sorted(v for v in values if lo <= v <= hi)
+    assert got == expected

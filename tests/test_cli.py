@@ -1,0 +1,181 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main, parse_workload_file
+
+DTD = """
+<!ELEMENT shop (item*)>
+<!ELEMENT item (name, kind, price, label*)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT kind (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT label (#PCDATA)>
+"""
+
+XML = """
+<shop>
+  <item><name>a</name><kind>x</kind><price>10</price>
+        <label>l1</label><label>l2</label></item>
+  <item><name>b</name><kind>y</kind><price>20</price></item>
+  <item><name>c</name><kind>x</kind><price>30</price><label>l3</label></item>
+</shop>
+"""
+
+BAD_XML = "<shop><item><name>a</name></item></shop>"
+
+
+@pytest.fixture
+def files(tmp_path):
+    dtd = tmp_path / "shop.dtd"
+    dtd.write_text(DTD)
+    xml = tmp_path / "shop.xml"
+    xml.write_text(XML)
+    bad = tmp_path / "bad.xml"
+    bad.write_text(BAD_XML)
+    workload = tmp_path / "workload.txt"
+    workload.write_text(
+        "# shop workload\n"
+        '//item[kind = "x"]/(name | price)\n'
+        "2.0 | //item/label\n"
+        "insert 0.5 | //item\n")
+    return tmp_path, dtd, xml, bad, workload
+
+
+def run_cli(args) -> tuple[int, str]:
+    import contextlib
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = main(args)
+    return code, out.getvalue()
+
+
+class TestValidate:
+    def test_valid_document(self, files):
+        _, dtd, xml, _, _ = files
+        code, out = run_cli(["validate", "--dtd", str(dtd), "--root", "shop",
+                             "--xml", str(xml)])
+        assert code == 0
+        assert "OK" in out
+
+    def test_invalid_document(self, files):
+        _, dtd, _, bad, _ = files
+        code, out = run_cli(["validate", "--dtd", str(dtd), "--root", "shop",
+                             "--xml", str(bad)])
+        assert code == 1
+        assert "INVALID" in out
+
+    def test_dtd_requires_root(self, files):
+        _, dtd, xml, _, _ = files
+        with pytest.raises(SystemExit):
+            run_cli(["validate", "--dtd", str(dtd), "--xml", str(xml)])
+
+
+class TestShred:
+    def test_prints_schema_and_counts(self, files):
+        _, dtd, xml, _, _ = files
+        code, out = run_cli(["shred", "--dtd", str(dtd), "--root", "shop",
+                             "--xml", str(xml)])
+        assert code == 0
+        assert "item(ID, PID, name, kind, price)" in out
+        assert "item: 3 rows" in out
+        assert "label: 3 rows" in out
+
+    def test_csv_dump(self, files):
+        tmp_path, dtd, xml, _, _ = files
+        out_dir = tmp_path / "csv"
+        code, _ = run_cli(["shred", "--dtd", str(dtd), "--root", "shop",
+                           "--xml", str(xml), "--out", str(out_dir)])
+        assert code == 0
+        content = (out_dir / "item.csv").read_text()
+        assert content.splitlines()[0] == "ID,PID,name,kind,price"
+        assert len(content.splitlines()) == 4
+
+    def test_mapping_choice(self, files):
+        _, dtd, xml, _, _ = files
+        code, out = run_cli(["shred", "--dtd", str(dtd), "--root", "shop",
+                             "--xml", str(xml), "--mapping", "fully-split"])
+        assert code == 0
+        assert "name(ID, PID, name)" in out
+
+
+class TestQuery:
+    def test_query_executes(self, files):
+        _, dtd, xml, _, _ = files
+        code, out = run_cli([
+            "query", "--dtd", str(dtd), "--root", "shop",
+            "--xml", str(xml),
+            "--xpath", '//item[kind = "x"]/(name | price)'])
+        assert code == 0
+        assert "SELECT" in out
+        assert "a" in out and "30" in out
+
+    def test_explain_flag(self, files):
+        _, dtd, xml, _, _ = files
+        code, out = run_cli([
+            "query", "--dtd", str(dtd), "--root", "shop",
+            "--xml", str(xml), "--xpath", "//item/name", "--explain"])
+        assert code == 0
+        assert "SeqScan" in out or "IndexSeek" in out
+
+    def test_limit(self, files):
+        _, dtd, xml, _, _ = files
+        code, out = run_cli([
+            "query", "--dtd", str(dtd), "--root", "shop",
+            "--xml", str(xml), "--xpath", "//item/name", "--limit", "1"])
+        assert "more" in out
+
+
+class TestWorkloadFile:
+    def test_parse(self, files):
+        _, _, _, _, workload = files
+        parsed = parse_workload_file(str(workload))
+        assert len(parsed.queries) == 2
+        assert parsed.queries[1].weight == 2.0
+        assert len(parsed.updates) == 1
+        assert parsed.updates[0].weight == 0.5
+
+    def test_empty_rejected(self, tmp_path):
+        empty = tmp_path / "w.txt"
+        empty.write_text("# nothing\n")
+        with pytest.raises(SystemExit):
+            parse_workload_file(str(empty))
+
+
+class TestAdvise:
+    def test_advise_greedy(self, files):
+        _, dtd, xml, _, workload = files
+        code, out = run_cli([
+            "advise", "--dtd", str(dtd), "--root", "shop",
+            "--xml", str(xml), "--workload", str(workload)])
+        assert code == 0
+        assert "algorithm: greedy" in out
+        assert "relational schema" in out
+
+    def test_advise_measured(self, files):
+        _, dtd, xml, _, workload = files
+        code, out = run_cli([
+            "advise", "--dtd", str(dtd), "--root", "shop",
+            "--xml", str(xml), "--workload", str(workload),
+            "--algorithm", "two-step", "--measure"])
+        assert code == 0
+        assert "measured workload cost" in out
+
+
+class TestExperiment:
+    def test_e0(self):
+        code, out = run_cli(["experiment", "e0", "--scale", "250"])
+        assert code == 0
+        assert "Mapping 2" in out
+
+    def test_table1(self):
+        code, out = run_cli(["experiment", "table1", "--scale", "200"])
+        assert code == 0
+        assert "DBLP" in out and "Movie" in out
+
+    def test_split_count(self):
+        code, out = run_cli(["experiment", "split-count", "--scale", "200"])
+        assert code == 0
+        assert "suggested k" in out

@@ -1,0 +1,161 @@
+"""Unit tests for the physical design advisor."""
+
+import pytest
+
+from repro.engine import Column, Database, Index, SQLType
+from repro.errors import SearchError
+from repro.physdesign import (CandidateGenerator, Configuration,
+                              IndexTuningAdvisor, analyze_select,
+                              materialize)
+from repro.sqlast import parse_sql
+
+
+@pytest.fixture
+def db():
+    import random
+    rng = random.Random(3)
+    database = Database()
+    database.create_table("pub", [
+        Column("ID", SQLType.INTEGER, False),
+        Column("PID", SQLType.INTEGER),
+        Column("title", SQLType.VARCHAR),
+        Column("venue", SQLType.VARCHAR),
+        Column("year", SQLType.INTEGER),
+    ])
+    database.create_table("person", [
+        Column("ID", SQLType.INTEGER, False),
+        Column("PID", SQLType.INTEGER),
+        Column("name", SQLType.VARCHAR),
+    ])
+    database.insert_rows("pub", [
+        (i, 0, f"t{i}", f"V{rng.randrange(12)}", 1980 + i % 25)
+        for i in range(4000)])
+    database.insert_rows("person", [
+        (10_000 + j, rng.randrange(4000), f"n{j % 500}")
+        for j in range(9000)])
+    database.analyze()
+    database.build_primary_key_indexes()
+    return database
+
+
+JOIN_SQL = ("SELECT P.ID, A.name FROM pub P, person A "
+            "WHERE P.venue = 'V3' AND P.ID = A.PID")
+
+
+class TestCandidateGeneration:
+    def test_shape_analysis(self, db):
+        query = parse_sql(JOIN_SQL)
+        shape = analyze_select(query.selects[0], db)
+        assert shape.eq_columns["P"] == ["venue"]
+        assert shape.join_edges == [("P", "ID", "A", "PID")]
+        assert "name" in shape.referenced["A"]
+
+    def test_candidates_include_covering_and_view(self, db):
+        generator = CandidateGenerator(db)
+        indexes, views = generator.for_query(parse_sql(JOIN_SQL))
+        assert any(set(ix.included_columns) for ix in indexes)
+        assert any(ix.key_columns == ("venue",) for ix in indexes)
+        assert any(ix.key_columns[0] == "PID" for ix in indexes)
+        assert len(views) == 1
+        assert views[0].definition.child_fk_column == "PID"
+
+    def test_candidates_deduplicated(self, db):
+        generator = CandidateGenerator(db)
+        first, _ = generator.for_query(parse_sql(JOIN_SQL))
+        second, second_views = generator.for_query(parse_sql(JOIN_SQL))
+        assert second == []
+        assert second_views == []
+
+    def test_range_predicate_candidates(self, db):
+        generator = CandidateGenerator(db)
+        indexes, _ = generator.for_query(parse_sql(
+            "SELECT P.title FROM pub P WHERE P.year >= 2000"))
+        assert any(ix.key_columns == ("year",) for ix in indexes)
+
+    def test_exists_probe_candidate(self, db):
+        generator = CandidateGenerator(db)
+        indexes, _ = generator.for_query(parse_sql(
+            "SELECT P.ID FROM pub P WHERE EXISTS "
+            "(SELECT A.ID FROM person A WHERE A.PID = P.ID "
+            "AND A.name = 'n3')"))
+        assert any(ix.key_columns[:1] == ("PID",) for ix in indexes)
+
+
+class TestAdvisor:
+    def test_recommendation_lowers_cost(self, db):
+        workload = [(parse_sql(JOIN_SQL), 1.0)]
+        advisor = IndexTuningAdvisor(db)
+        base_cost = db.estimate(JOIN_SQL).est_cost
+        result = advisor.tune(workload)
+        assert result.total_cost < base_cost
+        assert len(result.configuration) >= 1
+
+    def test_respects_storage_bound(self, db):
+        workload = [(parse_sql(JOIN_SQL), 1.0)]
+        advisor = IndexTuningAdvisor(db)
+        data = db.catalog.total_data_bytes()
+        tight = advisor.tune(workload, storage_bound=data + 64 * 1024)
+        roomy = advisor.tune(workload, storage_bound=data + 1 << 30)
+        assert tight.configuration.size_bytes(db) <= 64 * 1024
+        assert roomy.total_cost <= tight.total_cost
+
+    def test_bound_below_data_size_rejected(self, db):
+        advisor = IndexTuningAdvisor(db)
+        with pytest.raises(SearchError):
+            advisor.tune([(parse_sql(JOIN_SQL), 1.0)], storage_bound=1)
+
+    def test_reports_objects_used(self, db):
+        workload = [(parse_sql(JOIN_SQL), 1.0)]
+        result = IndexTuningAdvisor(db).tune(workload)
+        report = result.reports[0]
+        assert report.objects_used
+        config_names = result.configuration.object_names()
+        named = {o for o in report.objects_used
+                 if o.startswith("cand_")}
+        assert named <= config_names
+
+    def test_weights_steer_selection(self, db):
+        q_cheap = parse_sql("SELECT P.title FROM pub P WHERE P.year = 1999")
+        advisor = IndexTuningAdvisor(db)
+        heavy = advisor.tune([(q_cheap, 100.0),
+                              (parse_sql(JOIN_SQL), 0.001)])
+        year_indexed = any("year" in ix.key_columns
+                           for ix in heavy.configuration.indexes)
+        assert year_indexed
+
+    def test_materialize_builds_everything(self, db):
+        workload = [(parse_sql(JOIN_SQL), 1.0)]
+        result = IndexTuningAdvisor(db).tune(workload)
+        materialize(db, result.configuration)
+        for index in result.configuration.indexes:
+            assert db.catalog.indexes[index.name].is_built
+        for view in result.configuration.views:
+            assert db.catalog.table(view.name).is_materialized
+
+    def test_advisor_never_mutates_catalog(self, db):
+        tables_before = set(db.catalog.tables)
+        indexes_before = set(db.catalog.indexes)
+        IndexTuningAdvisor(db).tune([(parse_sql(JOIN_SQL), 1.0)])
+        assert set(db.catalog.tables) == tables_before
+        assert set(db.catalog.indexes) == indexes_before
+
+    def test_estimated_matches_measured_direction(self, db):
+        """The advisor's estimated win must materialize as a real win."""
+        workload = [(parse_sql(JOIN_SQL), 1.0)]
+        before = db.execute(JOIN_SQL).cost
+        result = IndexTuningAdvisor(db).tune(workload)
+        materialize(db, result.configuration)
+        after = db.execute(JOIN_SQL).cost
+        assert after < before
+
+
+class TestConfiguration:
+    def test_extended_is_persistent(self):
+        config = Configuration()
+        index = Index("x", "pub", ("venue",), hypothetical=True)
+        extended = config.extended(index)
+        assert len(config) == 0
+        assert len(extended) == 1
+
+    def test_describe_empty(self):
+        assert "no physical structures" in Configuration().describe()

@@ -1,0 +1,44 @@
+"""Recursive schemas are rejected explicitly (paper Section 2 scope)."""
+
+import pytest
+
+from repro.errors import XSDError
+from repro.xsd import parse_dtd, parse_xsd
+
+
+class TestDTDRecursion:
+    def test_self_recursive(self):
+        with pytest.raises(XSDError, match="recursive"):
+            parse_dtd("<!ELEMENT a (a?)>", root="a")
+
+    def test_mutually_recursive(self):
+        with pytest.raises(XSDError, match="recursive"):
+            parse_dtd("<!ELEMENT a (b?)><!ELEMENT b (a?)>", root="a")
+
+    def test_repeated_nonrecursive_use_is_fine(self):
+        # The same element type used twice (shared type) is NOT recursion.
+        tree = parse_dtd(
+            "<!ELEMENT r (x, y)><!ELEMENT x (n)><!ELEMENT y (n)>"
+            "<!ELEMENT n (#PCDATA)>", root="r")
+        assert len(tree.find_tags("n")) == 2
+
+
+class TestXSDRecursion:
+    def test_recursive_named_type(self):
+        with pytest.raises(XSDError, match="recursive"):
+            parse_xsd("""<xs:schema xmlns:xs="x">
+              <xs:complexType name="T"><xs:sequence>
+                <xs:element name="child" type="T" minOccurs="0"/>
+              </xs:sequence></xs:complexType>
+              <xs:element name="root" type="T"/></xs:schema>""")
+
+    def test_shared_named_type_is_fine(self):
+        tree = parse_xsd("""<xs:schema xmlns:xs="x">
+          <xs:complexType name="P"><xs:sequence>
+            <xs:element name="name" type="xs:string"/>
+          </xs:sequence></xs:complexType>
+          <xs:element name="org"><xs:complexType><xs:sequence>
+            <xs:element name="a" type="P"/>
+            <xs:element name="b" type="P"/>
+          </xs:sequence></xs:complexType></xs:element></xs:schema>""")
+        assert len(tree.find_tags("name")) == 2

@@ -1,0 +1,129 @@
+"""Unit tests for the SQL AST, renderer, and parser."""
+
+import pytest
+
+from repro.errors import SQLParseError
+from repro.sqlast import (And, ColumnRef, Comparison, ComparisonOp, Exists,
+                          IsNull, Literal, Or, Query, Select, SelectItem,
+                          TableRef, conjunction, conjuncts_of, parse_sql,
+                          render, single_select)
+
+PAPER_SQL = (
+    "SELECT I.ID, title, year, NULL FROM inproc I "
+    "WHERE booktitle = 'SIGMOD CONFERENCE' "
+    "UNION ALL "
+    "SELECT I.ID, NULL, NULL, author FROM inproc I, inproc_author A "
+    "WHERE booktitle = 'SIGMOD CONFERENCE' AND I.ID = A.PID "
+    "ORDER BY 1"
+)
+
+
+class TestAst:
+    def test_literal_rendering(self):
+        assert str(Literal("o'brien")) == "'o''brien'"
+        assert str(Literal(None)) == "NULL"
+        assert str(Literal(42)) == "42"
+
+    def test_union_width_checked(self):
+        s1 = Select((SelectItem(Literal(1)),), (TableRef("t", "t"),))
+        s2 = Select((SelectItem(Literal(1)), SelectItem(Literal(2))),
+                    (TableRef("t", "t"),))
+        with pytest.raises(ValueError):
+            Query(selects=(s1, s2))
+
+    def test_conjunction_flattens(self):
+        a = Comparison(ColumnRef("t", "x"), ComparisonOp.EQ, Literal(1))
+        b = Comparison(ColumnRef("t", "y"), ComparisonOp.EQ, Literal(2))
+        c = Comparison(ColumnRef("t", "z"), ComparisonOp.EQ, Literal(3))
+        combined = conjunction([And((a, b)), c])
+        assert isinstance(combined, And)
+        assert combined.items == (a, b, c)
+        assert conjunction([]) is None
+        assert conjunction([a]) is a
+
+    def test_conjuncts_of(self):
+        a = Comparison(ColumnRef("t", "x"), ComparisonOp.EQ, Literal(1))
+        assert conjuncts_of(None) == []
+        assert conjuncts_of(a) == [a]
+        assert conjuncts_of(And((a, a))) == [a, a]
+
+    def test_referenced_tables_includes_exists(self):
+        inner = Select((SelectItem(Literal(1)),), (TableRef("ovf", "o"),),
+                       Comparison(ColumnRef("o", "PID"), ComparisonOp.EQ,
+                                  ColumnRef("m", "ID")))
+        outer = single_select(
+            [SelectItem(ColumnRef("m", "title"))],
+            [TableRef("movie", "m")],
+            where=Exists(inner))
+        assert outer.referenced_tables == frozenset({"movie", "ovf"})
+
+
+class TestParser:
+    def test_paper_query_parses(self):
+        q = parse_sql(PAPER_SQL)
+        assert len(q.selects) == 2
+        assert q.order_by == (1,)
+        assert q.selects[0].items[0].expr == ColumnRef("I", "ID")
+        assert q.selects[0].items[3].expr == Literal(None)
+        assert q.referenced_tables == frozenset({"inproc", "inproc_author"})
+
+    def test_roundtrip_via_str(self):
+        q = parse_sql(PAPER_SQL)
+        assert parse_sql(str(q)) == q
+
+    def test_roundtrip_via_render(self):
+        q = parse_sql(PAPER_SQL)
+        assert parse_sql(render(q)) == q
+
+    def test_or_precedence(self):
+        q = parse_sql("SELECT x FROM t WHERE a = 1 AND b = 2 OR c = 3")
+        where = q.selects[0].where
+        assert isinstance(where, Or)
+        assert isinstance(where.items[0], And)
+
+    def test_parenthesized_or(self):
+        q = parse_sql("SELECT x FROM t WHERE a = 1 AND (b = 2 OR c = 3)")
+        where = q.selects[0].where
+        assert isinstance(where, And)
+        assert isinstance(where.items[1], Or)
+
+    def test_is_null(self):
+        q = parse_sql("SELECT x FROM t WHERE t.x IS NULL AND t.y IS NOT NULL")
+        where = q.selects[0].where
+        assert where.items[0] == IsNull(ColumnRef("t", "x"))
+        assert where.items[1] == IsNull(ColumnRef("t", "y"), negated=True)
+
+    def test_exists(self):
+        q = parse_sql("SELECT x FROM t WHERE EXISTS "
+                      "(SELECT 1 FROM u WHERE u.pid = t.id)")
+        where = q.selects[0].where
+        assert isinstance(where, Exists)
+        assert where.subquery.from_tables[0].table == "u"
+
+    def test_string_escapes(self):
+        q = parse_sql("SELECT x FROM t WHERE name = 'o''brien'")
+        comparison = q.selects[0].where
+        assert comparison.right == Literal("o'brien")
+
+    def test_alias_forms(self):
+        q = parse_sql("SELECT t.x AS col FROM tbl t")
+        assert q.selects[0].items[0].alias == "col"
+        assert q.selects[0].from_tables[0] == TableRef("tbl", "t")
+
+    def test_numeric_literals(self):
+        q = parse_sql("SELECT x FROM t WHERE a = -5 AND b = 2.5")
+        items = conjuncts_of(q.selects[0].where)
+        assert items[0].right == Literal(-5)
+        assert items[1].right == Literal(2.5)
+
+    @pytest.mark.parametrize("bad", [
+        "SELECT FROM t",
+        "SELECT x",
+        "SELECT x FROM t WHERE",
+        "SELECT x FROM t ORDER 1",
+        "SELECT x FROM t WHERE a == 1 extra",
+        "SELECT x FROM where",
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(SQLParseError):
+            parse_sql(bad)

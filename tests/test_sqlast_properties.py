@@ -1,0 +1,110 @@
+"""Property-based round-trip tests for the SQL AST: for any AST the
+renderer can produce, ``parse_sql(str(ast)) == ast``."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqlast import (And, ColumnRef, Comparison, ComparisonOp, Exists,
+                          IsNull, Literal, Or, Query, Select, SelectItem,
+                          TableRef, parse_sql, render)
+
+_names = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True).filter(
+    lambda s: s not in {"select", "from", "where", "union", "all", "order",
+                        "by", "and", "or", "as", "null", "is", "not",
+                        "exists"})
+
+_columns = st.builds(ColumnRef, table=_names, column=_names)
+_literals = st.one_of(
+    st.builds(Literal, st.integers(-10_000, 10_000)),
+    st.builds(Literal, st.text(
+        alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+        max_size=12)),
+    st.just(Literal(None)),
+)
+_scalars = st.one_of(_columns, _literals)
+
+_comparisons = st.builds(
+    Comparison, left=_columns, op=st.sampled_from(list(ComparisonOp)),
+    right=_scalars)
+_is_nulls = st.builds(IsNull, operand=_columns, negated=st.booleans())
+_atoms = st.one_of(_comparisons, _is_nulls)
+
+
+def _flatten_and(items):
+    """Canonical AND: directly nested ANDs flatten (renderer drops the
+    parentheses, so only flattened trees round-trip identically)."""
+    out = []
+    for item in items:
+        if isinstance(item, And):
+            out.extend(item.items)
+        else:
+            out.append(item)
+    return And(tuple(out))
+
+
+def _flatten_or(items):
+    out = []
+    for item in items:
+        if isinstance(item, Or):
+            out.extend(item.items)
+        else:
+            out.append(item)
+    return Or(tuple(out))
+
+
+def _bool_exprs():
+    return st.recursive(
+        _atoms,
+        lambda children: st.one_of(
+            st.builds(lambda items: _flatten_and(items),
+                      st.lists(children, min_size=2, max_size=3)),
+            st.builds(lambda items: _flatten_or(items),
+                      st.lists(children, min_size=2, max_size=3)),
+        ),
+        max_leaves=6)
+
+
+@st.composite
+def selects(draw, width=None):
+    n_items = width if width is not None else draw(st.integers(1, 4))
+    items = tuple(SelectItem(draw(_scalars)) for _ in range(n_items))
+    tables = tuple(
+        TableRef(draw(_names), draw(_names))
+        for _ in range(draw(st.integers(1, 2))))
+    where = draw(st.one_of(st.none(), _bool_exprs()))
+    if draw(st.booleans()):
+        inner = Select(
+            items=(SelectItem(Literal(1)),),
+            from_tables=(TableRef(draw(_names), draw(_names)),),
+            where=draw(_atoms))
+        exists = Exists(inner)
+        where = exists if where is None else _flatten_and([where, exists])
+    return Select(items=items, from_tables=tables, where=where)
+
+
+@st.composite
+def queries(draw):
+    width = draw(st.integers(1, 4))
+    n_selects = draw(st.integers(1, 3))
+    body = tuple(draw(selects(width=width)) for _ in range(n_selects))
+    order_by = tuple(draw(st.lists(st.integers(1, width), max_size=2)))
+    return Query(selects=body, order_by=order_by)
+
+
+@given(queries())
+@settings(max_examples=200, deadline=None)
+def test_roundtrip_single_line(query):
+    assert parse_sql(str(query)) == query
+
+
+@given(queries())
+@settings(max_examples=100, deadline=None)
+def test_roundtrip_rendered(query):
+    assert parse_sql(render(query)) == query
+
+
+@given(queries())
+@settings(max_examples=50, deadline=None)
+def test_referenced_tables_stable_under_roundtrip(query):
+    reparsed = parse_sql(str(query))
+    assert reparsed.referenced_tables == query.referenced_tables

@@ -1,0 +1,95 @@
+"""Property-based tests for statistics invariants.
+
+The optimizer's plan choices (and therefore the whole design search)
+rest on these estimates behaving sanely, so the invariants are pinned
+with hypothesis across arbitrary value distributions.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import ColumnStats
+
+values_strategy = st.lists(
+    st.one_of(st.integers(-1000, 1000), st.none()),
+    min_size=1, max_size=300)
+
+string_values = st.lists(
+    st.one_of(st.text(min_size=1, max_size=8), st.none()),
+    min_size=1, max_size=200)
+
+
+@given(values_strategy, st.integers(-1000, 1000))
+@settings(max_examples=200, deadline=None)
+def test_selectivities_are_probabilities(values, probe):
+    stats = ColumnStats.from_values(values)
+    assert 0.0 <= stats.eq_selectivity(probe) <= 1.0
+    for op in ("<", "<=", ">", ">="):
+        assert 0.0 <= stats.range_selectivity(op, probe) <= 1.0
+
+
+@given(values_strategy, st.integers(-1000, 1000))
+@settings(max_examples=200, deadline=None)
+def test_le_plus_gt_covers_non_null(values, probe):
+    stats = ColumnStats.from_values(values)
+    le = stats.range_selectivity("<=", probe)
+    gt = stats.range_selectivity(">", probe)
+    assert le + gt <= stats.non_null_fraction + 1e-6
+    # And the pair partitions the non-null mass (within histogram error).
+    assert le + gt >= stats.non_null_fraction - 0.2
+
+
+@given(values_strategy, st.integers(-1000, 1000), st.integers(-1000, 1000))
+@settings(max_examples=200, deadline=None)
+def test_range_selectivity_monotone(values, a, b):
+    lo, hi = min(a, b), max(a, b)
+    stats = ColumnStats.from_values(values)
+    assert stats.range_selectivity("<=", lo) <= \
+        stats.range_selectivity("<=", hi) + 1e-9
+    assert stats.range_selectivity(">=", hi) <= \
+        stats.range_selectivity(">=", lo) + 1e-9
+
+
+@given(values_strategy)
+@settings(max_examples=200, deadline=None)
+def test_le_selectivity_tracks_truth(values):
+    """Histogram estimate of <= median stays near the actual fraction."""
+    stats = ColumnStats.from_values(values)
+    non_null = sorted(v for v in values if v is not None)
+    if not non_null:
+        return
+    probe = non_null[len(non_null) // 2]
+    actual = sum(1 for v in non_null if v <= probe) / len(values)
+    estimate = stats.range_selectivity("<=", probe)
+    assert abs(estimate - actual) <= 0.25
+
+
+@given(values_strategy, st.integers(1, 500))
+@settings(max_examples=100, deadline=None)
+def test_scaled_preserves_probability_bounds(values, new_rows):
+    stats = ColumnStats.from_values(values).scaled(new_rows)
+    assert stats.row_count == new_rows
+    assert 0 <= stats.null_count <= new_rows
+    assert stats.n_distinct <= max(new_rows, 1)
+    assert 0.0 <= stats.eq_selectivity(0) <= 1.0
+
+
+@given(st.lists(values_strategy, min_size=1, max_size=4))
+@settings(max_examples=100, deadline=None)
+def test_merged_row_accounting(parts_values):
+    parts = [ColumnStats.from_values(v) for v in parts_values]
+    merged = ColumnStats.merged(parts)
+    assert merged.row_count == sum(p.row_count for p in parts)
+    assert merged.null_count == sum(p.null_count for p in parts)
+    for op in ("<", ">="):
+        assert 0.0 <= merged.range_selectivity(op, 0) <= 1.0
+
+
+@given(string_values, st.text(min_size=1, max_size=8))
+@settings(max_examples=150, deadline=None)
+def test_string_columns_behave(values, probe):
+    stats = ColumnStats.from_values(values, is_string=True)
+    assert 0.0 <= stats.eq_selectivity(probe) <= 1.0
+    assert 0.0 <= stats.range_selectivity("<=", probe) <= 1.0
+    if any(v is not None for v in values):
+        assert stats.avg_width and stats.avg_width >= 1

@@ -1,0 +1,132 @@
+"""Tests for the update-workload extension (paper's future work)."""
+
+import pytest
+
+from repro.datasets import dblp_schema, generate_dblp
+from repro.engine import Column, Database, SQLType
+from repro.errors import WorkloadError
+from repro.mapping import collect_statistics, derive_schema, hybrid_inlining
+from repro.physdesign import IndexTuningAdvisor
+from repro.search import GreedySearch, MappingEvaluator, update_load_for
+from repro.sqlast import parse_sql
+from repro.workload import WeightedUpdate, Workload
+from repro.xpath import parse_xpath
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    tree = dblp_schema()
+    doc = generate_dblp(800, seed=29)
+    return tree, collect_statistics(tree, doc)
+
+
+class TestModel:
+    def test_update_target_must_be_plain_path(self):
+        with pytest.raises(WorkloadError):
+            WeightedUpdate(parse_xpath('//inproceedings[year = "2000"]'))
+        with pytest.raises(WorkloadError):
+            WeightedUpdate(parse_xpath("//inproceedings/(title | year)"))
+
+    def test_add_update(self):
+        wl = Workload("w")
+        wl.add_update("//inproceedings", weight=2.0)
+        assert len(wl.updates) == 1
+
+    def test_weight_positive(self):
+        with pytest.raises(WorkloadError):
+            WeightedUpdate(parse_xpath("//inproceedings"), weight=-1)
+
+
+class TestUpdateLoad:
+    def test_load_fans_out_to_child_tables(self, bundle):
+        tree, stats = bundle
+        schema = derive_schema(hybrid_inlining(tree))
+        wl = Workload("w")
+        wl.add_update("/dblp/inproceedings", weight=1.0)
+        load = update_load_for(schema, stats, wl)
+        assert load["inproc"] == pytest.approx(1.0, rel=0.05)
+        # ~2-3 authors per publication on average.
+        assert 1.0 < load["author"] < 4.0
+        # Books are untouched by inproceedings inserts.
+        assert "book" not in load
+
+    def test_load_scales_with_weight(self, bundle):
+        tree, stats = bundle
+        schema = derive_schema(hybrid_inlining(tree))
+        wl = Workload("w")
+        wl.add_update("/dblp/inproceedings", weight=5.0)
+        load = update_load_for(schema, stats, wl)
+        assert load["inproc"] == pytest.approx(5.0, rel=0.05)
+
+    def test_no_updates_means_empty_load(self, bundle):
+        tree, stats = bundle
+        schema = derive_schema(hybrid_inlining(tree))
+        assert update_load_for(schema, stats, Workload("w")) == {}
+
+
+class TestAdvisorMaintenance:
+    def make_db(self):
+        import random
+        rng = random.Random(1)
+        db = Database()
+        db.create_table("t", [Column("ID", SQLType.INTEGER, False),
+                              Column("PID", SQLType.INTEGER),
+                              Column("k", SQLType.VARCHAR),
+                              Column("wide", SQLType.VARCHAR)])
+        db.insert_rows("t", [(i, 0, f"k{rng.randrange(50)}", "x" * 30)
+                             for i in range(5000)])
+        db.analyze()
+        db.build_primary_key_indexes()
+        return db
+
+    def test_heavy_update_load_suppresses_indexes(self):
+        db = self.make_db()
+        workload = [(parse_sql("SELECT t.wide FROM t WHERE t.k = 'k7'"), 1.0)]
+        advisor = IndexTuningAdvisor(db)
+        without = advisor.tune(workload)
+        assert len(without.configuration.indexes) >= 1
+        crushed = advisor.tune(workload, update_load={"t": 10_000.0})
+        assert len(crushed.configuration) < len(without.configuration)
+
+    def test_mild_update_load_keeps_worthwhile_indexes(self):
+        db = self.make_db()
+        workload = [(parse_sql("SELECT t.wide FROM t WHERE t.k = 'k7'"),
+                     100.0)]
+        advisor = IndexTuningAdvisor(db)
+        result = advisor.tune(workload, update_load={"t": 0.1})
+        assert len(result.configuration.indexes) >= 1
+
+    def test_total_cost_includes_maintenance(self):
+        db = self.make_db()
+        workload = [(parse_sql("SELECT t.wide FROM t WHERE t.k = 'k7'"), 1.0)]
+        advisor = IndexTuningAdvisor(db)
+        quiet = advisor.tune(workload)
+        busy = advisor.tune(workload, update_load={"t": 50.0})
+        assert busy.total_cost > quiet.total_cost
+
+
+class TestSearchWithUpdates:
+    def test_greedy_runs_with_update_load(self, bundle):
+        tree, stats = bundle
+        workload = Workload.from_strings("w", [
+            '/dblp/inproceedings[booktitle = "VLDB"]/(title | author)'])
+        workload.add_update("/dblp/inproceedings", weight=0.5)
+        result = GreedySearch(tree, workload, stats).run()
+        assert result.estimated_cost > 0
+
+    def test_update_heavy_design_is_leaner(self, bundle):
+        tree, stats = bundle
+        read_only = Workload.from_strings("ro", [
+            '/dblp/inproceedings[booktitle = "VLDB"]/(title | author)',
+            '/dblp/inproceedings[year = "2000"]/(title | ee)'])
+        write_heavy = Workload.from_strings("wh", [
+            '/dblp/inproceedings[booktitle = "VLDB"]/(title | author)',
+            '/dblp/inproceedings[year = "2000"]/(title | ee)'])
+        write_heavy.add_update("/dblp/inproceedings", weight=500.0)
+        evaluator_ro = MappingEvaluator(read_only, stats)
+        evaluator_wh = MappingEvaluator(write_heavy, stats)
+        mapping = hybrid_inlining(tree)
+        lean = evaluator_wh.evaluate(mapping)
+        rich = evaluator_ro.evaluate(mapping)
+        assert len(lean.tuning.configuration) <= \
+            len(rich.tuning.configuration)

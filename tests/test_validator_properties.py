@@ -1,0 +1,66 @@
+"""Property-based validator tests: generated-valid documents validate;
+random structural mutations are rejected."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.xmlkit import Document, Element
+from repro.xsd import validate
+
+from tests.test_pipeline_properties import (build_document, build_tree,
+                                            schema_specs)
+
+
+@given(schema_specs(), st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_generated_documents_validate(spec, seed):
+    kinds, with_choice = spec
+    tree, _ = build_tree(kinds, with_choice)
+    doc = build_document(tree, kinds, with_choice, seed, n_items=10)
+    validate(doc, tree)  # must not raise
+
+
+def _mutate(doc: Document, rng: random.Random) -> str | None:
+    """Apply one structural corruption; returns its label or None."""
+    items = list(doc.root.children)
+    if not items:
+        return None
+    item = rng.choice(items)
+    mutation = rng.choice(["bogus-child", "drop-required", "double-choice"])
+    if mutation == "bogus-child":
+        item.make_child("bogus_element", "x")
+        return mutation
+    if mutation == "drop-required":
+        # Remove a required (plain) field if one exists.
+        for child in item.children:
+            if child.tag == "alpha":  # first field; plain in many specs
+                item._children.remove(child)
+                item._texts.pop()
+                return mutation
+        return None
+    if mutation == "double-choice":
+        if item.find("left") is not None or item.find("right") is not None:
+            item.make_child("left", "1")
+            item.make_child("left", "2")
+            return mutation
+        return None
+    return None
+
+
+@given(schema_specs(), st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_mutated_documents_rejected(spec, seed):
+    kinds, with_choice = spec
+    tree, _ = build_tree(kinds, with_choice)
+    doc = build_document(tree, kinds, with_choice, seed, n_items=6)
+    rng = random.Random(seed + 1)
+    mutation = _mutate(doc, rng)
+    if mutation is None or (mutation == "drop-required"
+                            and kinds[0] != "plain"):
+        return  # no applicable corruption for this spec
+    with pytest.raises(ValidationError):
+        validate(doc, tree)

@@ -1,0 +1,110 @@
+"""Unit tests for the workload model and generator."""
+
+import pytest
+
+from repro.datasets import dblp_schema, generate_dblp
+from repro.errors import WorkloadError
+from repro.mapping import collect_statistics
+from repro.workload import (HIGH_PROJECTIONS, HIGH_SELECTIVITY,
+                            LOW_PROJECTIONS, LOW_SELECTIVITY, WeightedQuery,
+                            Workload, WorkloadGenerator)
+from repro.xpath import evaluate, parse_xpath
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    tree = dblp_schema()
+    doc = generate_dblp(600, seed=21)
+    return tree, doc, collect_statistics(tree, doc)
+
+
+class TestWorkloadModel:
+    def test_from_strings(self):
+        wl = Workload.from_strings("w", ["/a/b", "//c/d"], [1.0, 2.5])
+        assert len(wl) == 2
+        assert wl.total_weight() == 3.5
+
+    def test_weights_must_be_positive(self):
+        with pytest.raises(WorkloadError):
+            WeightedQuery(parse_xpath("/a/b"), weight=0)
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload.from_strings("w", ["/a/b"], [1.0, 2.0])
+
+    def test_add_accepts_strings(self):
+        wl = Workload("w")
+        wl.add("//x/y", weight=2.0)
+        assert len(wl) == 1
+        assert "x" in str(wl.queries[0].query)
+
+
+class TestGenerator:
+    def test_names_follow_convention(self, bundle):
+        tree, _, stats = bundle
+        gen = WorkloadGenerator(tree, stats, seed=1)
+        assert gen.generate(10).name == "LP-LS-10"
+        assert gen.generate(
+            20, HIGH_SELECTIVITY, HIGH_PROJECTIONS).name == "HP-HS-20"
+
+    def test_query_count(self, bundle):
+        tree, _, stats = bundle
+        gen = WorkloadGenerator(tree, stats, seed=1)
+        assert len(gen.generate(15)) == 15
+
+    def test_deterministic_with_seed(self, bundle):
+        tree, _, stats = bundle
+        a = WorkloadGenerator(tree, stats, seed=5).generate(10)
+        b = WorkloadGenerator(tree, stats, seed=5).generate(10)
+        assert [str(q.query) for q in a] == [str(q.query) for q in b]
+
+    def test_projection_counts_respect_band(self, bundle):
+        tree, _, stats = bundle
+        gen = WorkloadGenerator(tree, stats, seed=2)
+        for wq in gen.generate(20, LOW_SELECTIVITY, LOW_PROJECTIONS):
+            assert 1 <= len(wq.query.projections) <= 4
+        for wq in gen.generate(20, HIGH_SELECTIVITY, HIGH_PROJECTIONS):
+            assert len(wq.query.projections) >= 5
+
+    def test_low_selectivity_queries_are_selective(self, bundle):
+        tree, doc, stats = bundle
+        gen = WorkloadGenerator(tree, stats, seed=3)
+        workload = gen.generate(20, LOW_SELECTIVITY, LOW_PROJECTIONS)
+        inproc_total = stats.instances(
+            tree.find_tag_by_path(("dblp", "inproceedings")).node_id)
+        selective = 0
+        for wq in workload:
+            if wq.query.predicate is None:
+                continue
+            # Measure actual context selectivity on the document.
+            context_query = parse_xpath(
+                str(wq.query).split("/(")[0])
+            matched = len(evaluate(context_query, doc))
+            if matched <= 0.25 * inproc_total:
+                selective += 1
+        # Most predicated queries must actually be selective.
+        predicated = sum(1 for wq in workload if wq.query.predicate)
+        assert predicated > 0
+        assert selective >= predicated * 0.6
+
+    def test_high_selectivity_mostly_unpredicated_or_weak(self, bundle):
+        tree, _, stats = bundle
+        gen = WorkloadGenerator(tree, stats, seed=4)
+        workload = gen.generate(20, HIGH_SELECTIVITY, LOW_PROJECTIONS)
+        strong = sum(1 for wq in workload
+                     if wq.query.predicate is not None
+                     and wq.query.predicate.op is not None
+                     and wq.query.predicate.op.value == "=")
+        assert strong <= len(workload) * 0.5
+
+    def test_standard_suite_covers_four_bands(self, bundle):
+        tree, _, stats = bundle
+        gen = WorkloadGenerator(tree, stats, seed=5)
+        names = [wl.name for wl in gen.standard_suite(10)]
+        assert names == ["LP-LS-10", "LP-HS-10", "HP-LS-10", "HP-HS-10"]
+
+    def test_generated_queries_evaluate_on_document(self, bundle):
+        tree, doc, stats = bundle
+        gen = WorkloadGenerator(tree, stats, seed=6)
+        for wq in gen.generate(10):
+            evaluate(wq.query, doc)  # must not raise

@@ -1,0 +1,141 @@
+"""Unit tests for the XML document model, parser, and writer."""
+
+import pytest
+
+from repro.errors import XMLParseError
+from repro.xmlkit import Document, Element, count_elements, element, parse, serialize
+
+
+class TestElementModel:
+    def test_append_sets_parent(self):
+        parent = Element("a")
+        child = parent.make_child("b")
+        assert child.parent is parent
+        assert parent.children == (child,)
+
+    def test_make_child_with_text(self):
+        el = Element("a")
+        child = el.make_child("title", "Titanic")
+        assert child.text == "Titanic"
+
+    def test_find_and_find_all(self):
+        root = element("r", element("x", "1"), element("y"), element("x", "2"))
+        assert root.find("x").text == "1"
+        assert [e.text for e in root.find_all("x")] == ["1", "2"]
+        assert root.find("missing") is None
+
+    def test_iter_is_preorder(self):
+        root = element("a", element("b", element("c")), element("d"))
+        assert [e.tag for e in root.iter()] == ["a", "b", "c", "d"]
+
+    def test_descendants_filters_by_tag(self):
+        root = element("a", element("b", element("b")), element("c"))
+        assert len(list(root.descendants("b"))) == 2
+        assert len(list(root.descendants())) == 3
+
+    def test_string_value_concatenates_descendant_text(self):
+        root = element("a", "x", element("b", "y"), "z")
+        assert root.string_value() == "xyz"
+
+    def test_len_counts_children(self):
+        root = element("a", element("b"), element("c"))
+        assert len(root) == 2
+
+    def test_count_elements(self):
+        roots = [element("a", element("b")), element("c")]
+        assert count_elements(roots) == 3
+
+
+class TestParser:
+    def test_simple_document(self):
+        doc = parse("<a><b>hello</b></a>")
+        assert doc.root.tag == "a"
+        assert doc.root.find("b").text == "hello"
+
+    def test_declaration(self):
+        doc = parse('<?xml version="1.1" encoding="latin-1"?><a/>')
+        assert doc.version == "1.1"
+        assert doc.encoding == "latin-1"
+
+    def test_attributes(self):
+        doc = parse("""<a x="1" y='two "quoted"'/>""")
+        assert doc.root.attributes == {"x": "1", "y": 'two "quoted"'}
+
+    def test_entities(self):
+        doc = parse("<a>&lt;&gt;&amp;&apos;&quot;</a>")
+        assert doc.root.text == "<>&'\""
+
+    def test_numeric_character_references(self):
+        doc = parse("<a>&#65;&#x42;</a>")
+        assert doc.root.text == "AB"
+
+    def test_self_closing(self):
+        doc = parse("<a><b/><c/></a>")
+        assert [c.tag for c in doc.root.children] == ["b", "c"]
+
+    def test_comments_and_pis_skipped(self):
+        doc = parse("<!-- top --><?pi data?><a><!-- in -->text<?x?></a>")
+        assert doc.root.text == "text"
+
+    def test_cdata(self):
+        doc = parse("<a><![CDATA[<not>parsed&]]></a>")
+        assert doc.root.text == "<not>parsed&"
+
+    def test_doctype_skipped(self):
+        doc = parse('<!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><a>x</a>')
+        assert doc.root.text == "x"
+
+    def test_mixed_content_preserved(self):
+        doc = parse("<a>one<b>two</b>three</a>")
+        assert doc.root.text == "onethree"
+        assert doc.root.string_value() == "onetwothree"
+
+    def test_whitespace_in_end_tag(self):
+        doc = parse("<a>x</a >")
+        assert doc.root.text == "x"
+
+    @pytest.mark.parametrize("bad", [
+        "<a><b></a>",          # mismatched tags
+        "<a>",                  # unterminated
+        "<a x=1/>",            # unquoted attribute
+        "<a x='1' x='2'/>",    # duplicate attribute
+        "<a>&nosuch;</a>",     # unknown entity
+        "<a/><b/>",            # two roots
+        "just text",            # no element
+        "<a></a>trailing<b/>", # content after root
+        "<a>&#xZZ;</a>",       # bad char ref
+    ])
+    def test_malformed_raises(self, bad):
+        with pytest.raises(XMLParseError):
+            parse(bad)
+
+    def test_error_carries_location(self):
+        with pytest.raises(XMLParseError) as excinfo:
+            parse("<a>\n  <b></c>\n</a>")
+        assert excinfo.value.line == 2
+
+
+class TestWriter:
+    def test_roundtrip_simple(self):
+        text = '<a x="1"><b>hi &amp; bye</b><c/></a>'
+        doc = parse(text)
+        assert serialize(doc, declaration=False) == text
+
+    def test_escapes_attribute_quotes(self):
+        el = Element("a", {"x": 'say "hi" & <go>'})
+        out = serialize(el)
+        assert "&quot;" in out and "&amp;" in out and "&lt;" in out
+        assert parse(out).root.attributes["x"] == 'say "hi" & <go>'
+
+    def test_declaration_emitted(self):
+        doc = Document(Element("a"))
+        assert serialize(doc).startswith('<?xml version="1.0"')
+
+    def test_pretty_print_indents(self):
+        root = element("a", element("b", "x"), element("c"))
+        out = serialize(root, indent=2)
+        assert "\n  <b>" in out
+
+    def test_roundtrip_mixed_content(self):
+        text = "<a>one<b>two</b>three</a>"
+        assert serialize(parse(text), declaration=False) == text

@@ -1,0 +1,53 @@
+"""Property-based tests: serialize/parse round-trips for random trees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmlkit import Element, parse, serialize
+
+_tag_names = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+# Text without raw control chars; parser/writer must round-trip the rest.
+_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+    max_size=40,
+)
+_attr_values = _text
+
+
+@st.composite
+def elements(draw, depth=3):
+    tag = draw(_tag_names)
+    attrs = draw(st.dictionaries(_tag_names, _attr_values, max_size=3))
+    el = Element(tag, attrs)
+    if depth > 0:
+        for _ in range(draw(st.integers(0, 3))):
+            if draw(st.booleans()):
+                el.add_text(draw(_text))
+            el.append(draw(elements(depth=depth - 1)))
+    el.add_text(draw(_text))
+    return el
+
+
+@given(elements())
+@settings(max_examples=150, deadline=None)
+def test_serialize_parse_roundtrip(el):
+    text = serialize(el)
+    reparsed = parse(text).root
+
+    def same(a, b):
+        assert a.tag == b.tag
+        assert a.attributes == b.attributes
+        assert a.string_value() == b.string_value()
+        assert len(a.children) == len(b.children)
+        for ca, cb in zip(a.children, b.children):
+            same(ca, cb)
+
+    same(el, reparsed)
+
+
+@given(elements())
+@settings(max_examples=50, deadline=None)
+def test_double_roundtrip_is_stable(el):
+    once = serialize(parse(serialize(el)).root)
+    twice = serialize(parse(once).root)
+    assert once == twice

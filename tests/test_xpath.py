@@ -1,0 +1,149 @@
+"""Unit tests for the XPath parser and reference evaluator."""
+
+import pytest
+
+from repro.errors import XPathError
+from repro.xmlkit import element, parse
+from repro.xpath import (Axis, CompareOp, Step, XPathQuery, evaluate,
+                         evaluate_values, parse_xpath)
+
+
+class TestParser:
+    def test_simple_absolute_path(self):
+        q = parse_xpath("/dblp/inproceedings/title")
+        assert [s.name for s in q.steps] == ["dblp", "inproceedings", "title"]
+        assert all(s.axis == Axis.CHILD for s in q.steps)
+        assert q.projections == ()
+
+    def test_descendant_axis(self):
+        q = parse_xpath("//movie/year")
+        assert q.steps[0].axis == Axis.DESCENDANT
+        assert q.steps[1].axis == Axis.CHILD
+
+    def test_paper_movie_query(self):
+        q = parse_xpath('//movie[title = "Titanic"]/(aka_title | avg_rating)')
+        assert q.steps == (Step(Axis.DESCENDANT, "movie"),)
+        assert q.predicate.op == CompareOp.EQ
+        assert q.predicate.value == "Titanic"
+        assert q.predicate.path == (Step(Axis.CHILD, "title"),)
+        assert q.projection_names == ("aka_title", "avg_rating")
+
+    def test_relational_predicate(self):
+        q = parse_xpath('//movie[year >= "1998"]/(title | box_office)')
+        assert q.predicate.op == CompareOp.GE
+        assert q.predicate.value == "1998"
+
+    def test_existence_predicate(self):
+        q = parse_xpath("//movie[avg_rating]/title")
+        assert q.predicate.op is None
+        assert q.predicate.path == (Step(Axis.CHILD, "avg_rating"),)
+
+    def test_numeric_literal(self):
+        q = parse_xpath("//movie[year = 1997]/title")
+        assert q.predicate.value == "1997"
+
+    def test_multi_step_predicate_path(self):
+        q = parse_xpath('/a/b[c/d = "v"]/e')
+        assert [s.name for s in q.predicate.path] == ["c", "d"]
+
+    def test_predicate_on_middle_step(self):
+        q = parse_xpath('/a/b[x = "1"]/c/d')
+        assert q.predicate_step == 1
+        assert [s.name for s in q.steps] == ["a", "b", "c", "d"]
+
+    def test_big_projection_group(self):
+        q = parse_xpath('/dblp/inproceedings[year="2000"]/(title | year | '
+                        'cdrom | cite | author | editor | pages | booktitle | ee)')
+        assert len(q.projections) == 9
+
+    def test_str_roundtrip(self):
+        text = '//movie[title = "Titanic"]/(aka_title | avg_rating)'
+        q = parse_xpath(text)
+        assert parse_xpath(str(q)) == q
+
+    @pytest.mark.parametrize("bad", [
+        "movie/title",       # no leading axis
+        "/",                 # empty path
+        "/a[x='1'][y='2']/b",  # two predicates on one step
+        "/a[b='1']/c[d='2']",  # two predicates on different steps
+        "/a/(b|c)/d",        # content after projection group
+        "/a[b = ]",          # missing literal
+        "/a[b 'v']",         # missing operator with literal
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(XPathError):
+            parse_xpath(bad)
+
+
+@pytest.fixture
+def movie_doc():
+    return parse(
+        "<movies>"
+        "<movie><title>Titanic</title><year>1997</year>"
+        "<aka_title>Le Titanic</aka_title><aka_title>Der Untergang</aka_title>"
+        "<avg_rating>7.9</avg_rating><box_office>2000000</box_office></movie>"
+        "<movie><title>Lost</title><year>2004</year>"
+        "<seasons>6</seasons></movie>"
+        "<movie><title>Up</title><year>2009</year>"
+        "<avg_rating>8.3</avg_rating><box_office>735000</box_office></movie>"
+        "</movies>")
+
+
+class TestEvaluator:
+    def test_child_path(self, movie_doc):
+        values = evaluate_values(parse_xpath("/movies/movie/title"), movie_doc)
+        assert values == ["Titanic", "Lost", "Up"]
+
+    def test_descendant_path(self, movie_doc):
+        values = evaluate_values(parse_xpath("//movie/year"), movie_doc)
+        assert values == ["1997", "2004", "2009"]
+
+    def test_equality_predicate(self, movie_doc):
+        q = parse_xpath('//movie[title = "Titanic"]/(aka_title | avg_rating)')
+        assert evaluate_values(q, movie_doc) == \
+            ["Le Titanic", "Der Untergang", "7.9"]
+
+    def test_numeric_comparison(self, movie_doc):
+        q = parse_xpath('//movie[year >= "2004"]/title')
+        assert evaluate_values(q, movie_doc) == ["Lost", "Up"]
+
+    def test_existence_predicate(self, movie_doc):
+        q = parse_xpath("//movie[avg_rating]/title")
+        assert evaluate_values(q, movie_doc) == ["Titanic", "Up"]
+
+    def test_choice_branch_access(self, movie_doc):
+        q = parse_xpath("//movie/box_office")
+        assert evaluate_values(q, movie_doc) == ["2000000", "735000"]
+
+    def test_no_matches(self, movie_doc):
+        q = parse_xpath('//movie[title = "Nonexistent"]/year')
+        assert evaluate(q, movie_doc) == []
+
+    def test_context_elements_returned_without_projection(self, movie_doc):
+        q = parse_xpath('//movie[year = "1997"]')
+        result = evaluate(q, movie_doc)
+        assert len(result) == 1
+        assert result[0].find("title").text == "Titanic"
+
+    def test_descendant_matches_at_any_depth(self):
+        doc = element("a", element("b", element("c", "x")),
+                      element("c", "y"))
+        assert evaluate_values(parse_xpath("//c"), doc) == ["x", "y"]
+
+    def test_root_name_must_match_for_child_axis(self, movie_doc):
+        q = parse_xpath("/wrong/movie/title")
+        assert evaluate(q, movie_doc) == []
+
+    def test_predicate_on_middle_step(self):
+        doc = element(
+            "r",
+            element("g", element("k", "1"), element("v", "a")),
+            element("g", element("k", "2"), element("v", "b")),
+        )
+        q = parse_xpath('/r/g[k = "2"]/v')
+        assert evaluate_values(q, doc) == ["b"]
+
+    def test_projection_order_groups_by_context(self, movie_doc):
+        q = parse_xpath("//movie/(title | year)")
+        assert evaluate_values(q, movie_doc) == \
+            ["Titanic", "1997", "Lost", "2004", "Up", "2009"]

@@ -1,0 +1,268 @@
+"""Unit tests for schema trees, the XSD/DTD parsers, and validation."""
+
+import pytest
+
+from repro.errors import SchemaTreeError, ValidationError, XSDError
+from repro.xmlkit import parse
+from repro.xsd import (BaseType, NodeKind, SchemaTree, TreeBuilder, UNBOUNDED,
+                       parse_dtd, parse_xsd, validate)
+
+MOVIE_XSD = """
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"
+           xmlns:sdb="urn:repro:storage">
+  <xs:element name="movies" sdb:table="movies">
+    <xs:complexType><xs:sequence>
+      <xs:element name="movie" minOccurs="0" maxOccurs="unbounded" sdb:table="movie">
+        <xs:complexType><xs:sequence>
+          <xs:element name="title" type="xs:string"/>
+          <xs:element name="year" type="xs:integer"/>
+          <xs:element name="aka_title" type="xs:string" minOccurs="0"
+                      maxOccurs="unbounded" sdb:table="aka_title"/>
+          <xs:element name="avg_rating" type="xs:decimal" minOccurs="0"/>
+          <xs:choice>
+            <xs:element name="box_office" type="xs:integer"/>
+            <xs:element name="seasons" type="xs:integer"/>
+          </xs:choice>
+        </xs:sequence></xs:complexType>
+      </xs:element>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+</xs:schema>
+"""
+
+SHARED_TYPE_XSD = """
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"
+           xmlns:sdb="urn:repro:storage">
+  <xs:complexType name="PersonType">
+    <xs:sequence>
+      <xs:element name="name" type="xs:string"/>
+    </xs:sequence>
+  </xs:complexType>
+  <xs:element name="org" sdb:table="org">
+    <xs:complexType><xs:sequence>
+      <xs:element name="employee" maxOccurs="unbounded" type="PersonType"
+                  sdb:table="employee"/>
+      <xs:element name="contractor" maxOccurs="unbounded" type="PersonType"
+                  sdb:table="contractor"/>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+</xs:schema>
+"""
+
+
+@pytest.fixture
+def movie_tree():
+    return parse_xsd(MOVIE_XSD, name="movie")
+
+
+class TestTreeBuilder:
+    def test_leaf_and_classification(self):
+        b = TreeBuilder()
+        root = b.tag("r", annotation="r")
+        title = b.leaf("title", root)
+        tree = b.build(root)
+        assert tree.is_leaf_element(title)
+        assert tree.leaf_base_type(title) == BaseType.STRING
+        assert not tree.is_leaf_element(root)
+
+    def test_must_annotate_root_and_under_repetition(self):
+        b = TreeBuilder()
+        root = b.tag("r", annotation="r")
+        rep = b.rep(root)
+        item = b.leaf("item", rep)
+        inlined = b.leaf("note", root)
+        tree = b.build(root)
+        assert tree.must_annotate(tree.root)
+        assert tree.must_annotate(item)
+        assert not tree.must_annotate(inlined)
+
+    def test_tag_path(self):
+        b = TreeBuilder()
+        root = b.tag("a", annotation="a")
+        rep = b.rep(root)
+        mid = b.tag("b", rep, annotation="b")
+        leaf = b.leaf("c", mid)
+        tree = b.build(root)
+        assert tree.tag_path(leaf) == ("a", "b", "c")
+
+    def test_find_tag_by_path(self):
+        b = TreeBuilder()
+        root = b.tag("a", annotation="a")
+        leaf = b.leaf("b", root)
+        tree = b.build(root)
+        assert tree.find_tag_by_path(("a", "b")) is leaf
+        with pytest.raises(SchemaTreeError):
+            tree.find_tag_by_path(("a", "zzz"))
+
+    def test_structural_equivalence(self):
+        b = TreeBuilder()
+        root = b.tag("r", annotation="r")
+        x = b.leaf("t", root)
+        y = b.leaf("t", root)
+        z = b.leaf("t", root, BaseType.INTEGER)
+        tree = b.build(root)
+        assert tree.equivalent(x, y)
+        assert not tree.equivalent(x, z)
+
+    def test_invalid_choice_rejected(self):
+        b = TreeBuilder()
+        root = b.tag("r", annotation="r")
+        choice = b.choice(root)
+        b.leaf("only", choice)
+        with pytest.raises(SchemaTreeError):
+            b.build(root)
+
+    def test_enclosing_repetition(self):
+        b = TreeBuilder()
+        root = b.tag("r", annotation="r")
+        rep = b.rep(root)
+        item = b.leaf("item", rep)
+        plain = b.leaf("plain", root)
+        tree = b.build(root)
+        assert tree.enclosing_repetition(item) is rep
+        assert tree.enclosing_repetition(plain) is None
+
+
+class TestXSDParser:
+    def test_movie_schema_shape(self, movie_tree):
+        assert movie_tree.root.name == "movies"
+        movie = movie_tree.find_tag_by_path(("movies", "movie"))
+        assert movie.annotation == "movie"
+        kinds = [c.kind for c in movie_tree.children(movie)]
+        assert kinds == [NodeKind.TAG, NodeKind.TAG, NodeKind.REPETITION,
+                         NodeKind.OPTION, NodeKind.CHOICE]
+
+    def test_occurrence_bounds(self, movie_tree):
+        aka = movie_tree.find_tag_by_path(("movies", "movie", "aka_title"))
+        rep = movie_tree.parent(aka)
+        assert rep.kind == NodeKind.REPETITION
+        assert rep.max_occurs == UNBOUNDED
+
+    def test_base_types(self, movie_tree):
+        year = movie_tree.find_tag_by_path(("movies", "movie", "year"))
+        assert movie_tree.leaf_base_type(year) == BaseType.INTEGER
+
+    def test_shared_types_are_equivalent(self):
+        tree = parse_xsd(SHARED_TYPE_XSD)
+        employee = tree.find_tag_by_path(("org", "employee"))
+        contractor = tree.find_tag_by_path(("org", "contractor"))
+        emp_name = tree.children(employee)[0]
+        con_name = tree.children(contractor)[0]
+        assert tree.equivalent(emp_name, con_name)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(XSDError):
+            parse_xsd("""<xs:schema xmlns:xs="x">
+                <xs:element name="a" type="NoSuchType"/></xs:schema>""")
+
+    def test_two_roots_rejected(self):
+        with pytest.raises(XSDError):
+            parse_xsd("""<xs:schema xmlns:xs="x">
+                <xs:element name="a" type="xs:string"/>
+                <xs:element name="b" type="xs:string"/></xs:schema>""")
+
+
+class TestDTD:
+    DTD = """
+    <!ELEMENT dblp (inproceedings | book)*>
+    <!ELEMENT inproceedings (title, booktitle, year, author*, pages, ee?)>
+    <!ELEMENT book (title, year, publisher, author*)>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT booktitle (#PCDATA)>
+    <!ELEMENT year (#PCDATA)>
+    <!ELEMENT author (#PCDATA)>
+    <!ELEMENT pages (#PCDATA)>
+    <!ELEMENT ee (#PCDATA)>
+    <!ELEMENT publisher (#PCDATA)>
+    """
+
+    def test_parses_to_tree(self):
+        tree = parse_dtd(self.DTD, root="dblp")
+        assert tree.root.name == "dblp"
+        inproc = tree.find_tag_by_path(("dblp", "inproceedings"))
+        assert inproc.annotation == "inproceedings"
+
+    def test_repeated_elements_are_annotated(self):
+        tree = parse_dtd(self.DTD, root="dblp")
+        authors = tree.find_tags("author")
+        assert len(authors) == 2
+        assert all(a.annotation == "author" for a in authors)
+
+    def test_optional_modelled_as_option(self):
+        tree = parse_dtd(self.DTD, root="dblp")
+        ee = tree.find_tag_by_path(("dblp", "inproceedings", "ee"))
+        assert tree.parent(ee).kind == NodeKind.OPTION
+
+    def test_missing_root_rejected(self):
+        with pytest.raises(XSDError):
+            parse_dtd("<!ELEMENT a (#PCDATA)>", root="b")
+
+    def test_undeclared_reference_rejected(self):
+        with pytest.raises(XSDError):
+            parse_dtd("<!ELEMENT a (b)>", root="a")
+
+    def test_mixed_separators_rejected(self):
+        with pytest.raises(XSDError):
+            parse_dtd("<!ELEMENT a (b, c | d)><!ELEMENT b (#PCDATA)>"
+                      "<!ELEMENT c (#PCDATA)><!ELEMENT d (#PCDATA)>", root="a")
+
+
+class TestValidator:
+    def _tree(self):
+        return parse_xsd(MOVIE_XSD)
+
+    def test_valid_document(self):
+        doc = parse("""<movies>
+          <movie><title>Titanic</title><year>1997</year>
+                 <aka_title>Le Titanic</aka_title>
+                 <avg_rating>7.9</avg_rating><box_office>2000000</box_office></movie>
+          <movie><title>Lost</title><year>2004</year><seasons>6</seasons></movie>
+        </movies>""".replace("\n", "").replace("  ", ""))
+        validate(doc, self._tree())
+
+    def test_missing_required_element(self):
+        doc = parse("<movies><movie><title>X</title>"
+                    "<box_office>1</box_office></movie></movies>")
+        with pytest.raises(ValidationError):
+            validate(doc, self._tree())
+
+    def test_choice_requires_exactly_one_branch(self):
+        doc = parse("<movies><movie><title>X</title><year>1</year>"
+                    "</movie></movies>")
+        with pytest.raises(ValidationError):
+            validate(doc, self._tree())
+
+    def test_wrong_order_rejected(self):
+        doc = parse("<movies><movie><year>1</year><title>X</title>"
+                    "<box_office>1</box_office></movie></movies>")
+        with pytest.raises(ValidationError):
+            validate(doc, self._tree())
+
+    def test_bad_integer_rejected(self):
+        doc = parse("<movies><movie><title>X</title><year>not-a-year</year>"
+                    "<box_office>1</box_office></movie></movies>")
+        with pytest.raises(ValidationError):
+            validate(doc, self._tree())
+
+    def test_unexpected_element_rejected(self):
+        doc = parse("<movies><movie><title>X</title><year>1</year>"
+                    "<box_office>1</box_office><bogus>z</bogus></movie></movies>")
+        with pytest.raises(ValidationError):
+            validate(doc, self._tree())
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(ValidationError):
+            validate(parse("<films/>"), self._tree())
+
+    def test_repetition_bounds_enforced(self):
+        b = TreeBuilder()
+        root = b.tag("r", annotation="r")
+        rep = b.rep(root, min_occurs=1, max_occurs=2)
+        b.leaf("x", rep, annotation="x")
+        tree = b.build(root)
+        validate(parse("<r><x>1</x></r>"), tree)
+        validate(parse("<r><x>1</x><x>2</x></r>"), tree)
+        with pytest.raises(ValidationError):
+            validate(parse("<r></r>"), tree)
+        with pytest.raises(ValidationError):
+            validate(parse("<r><x>1</x><x>2</x><x>3</x></r>"), tree)
