@@ -5,6 +5,14 @@ Scale knobs (environment variables):
 * ``REPRO_BENCH_SCALE``   — publications/movies per data set (default 1200)
 * ``REPRO_BENCH_QUERIES`` — queries per small workload (default 10)
 * ``REPRO_BENCH_NAIVE``   — set to ``0`` to skip Naive-Greedy runs
+* ``REPRO_BENCH_TRACE``   — set to ``0`` to disable span tracing
+
+Tracing (docs/observability.md) is on by default: an ambient
+:class:`repro.obs.Tracer` is installed around every benchmark and its
+aggregated per-phase summary (advisor calls, optimizer calls, cache hit
+ratios, time per phase) is printed after the test, so the Fig. 5/7/8/9
+speed-up claims are auditable breakdowns rather than single wall-time
+numbers.
 
 The defaults keep the full benchmark suite in the tens of minutes;
 raising the scale sharpens the ratios (the paper's ran at 100 MB) at the
@@ -20,10 +28,12 @@ import os
 import pytest
 
 from repro.experiments import DatasetBundle
+from repro.obs import Tracer, set_tracer, summarize
 
 SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "1200"))
 QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "10"))
 RUN_NAIVE = os.environ.get("REPRO_BENCH_NAIVE", "1") != "0"
+TRACE = os.environ.get("REPRO_BENCH_TRACE", "1") != "0"
 
 
 @pytest.fixture(scope="session")
@@ -45,27 +55,59 @@ def emit(capsys):
     return _emit
 
 
+@pytest.fixture(autouse=True)
+def ambient_trace(request, capsys):
+    """Trace every benchmark and attach the per-phase summary.
+
+    Installs an ambient tracer (picked up by every search/advisor
+    constructed without an explicit one) for the duration of the test
+    and prints the aggregated span summary uncaptured afterwards.
+    """
+    if not TRACE:
+        yield None
+        return
+    tracer = Tracer()
+    set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(None)
+    if tracer.spans:
+        with capsys.disabled():
+            print(f"\ntrace summary — {request.node.name}")
+            print(summarize(tracer))
+
+
 @pytest.fixture(scope="session")
 def comparison_cache():
     """Figs. 4-6 share one expensive comparison run per data set."""
     return {}
 
 
-def build_comparison(bundle, cache):
-    """Run (or fetch) the Fig. 4-6 comparison for one data set."""
+def build_comparison(bundle, cache, emit=None):
+    """Run (or fetch) the Fig. 4-6 comparison for one data set.
+
+    When tracing is on, each (algorithm, workload) run is traced
+    individually; pass ``emit`` to print the per-run trace report
+    alongside the figure tables.
+    """
     from repro.experiments import compare_algorithms
 
-    if bundle.name in cache:
-        return cache[bundle.name]
-    generator = bundle.workload_generator(seed=41)
-    workloads = generator.standard_suite(QUERIES)
-    if bundle.name == "DBLP":
-        # The paper also runs 2x-size workloads on DBLP (Naive-Greedy is
-        # skipped there, as in the paper).
-        workloads += generator.standard_suite(QUERIES * 2)
-    algorithms = ("greedy", "naive-greedy", "two-step") if RUN_NAIVE \
-        else ("greedy", "two-step")
-    result = compare_algorithms(bundle, workloads, algorithms=algorithms,
-                                naive_max_queries=QUERIES)
-    cache[bundle.name] = result
+    if bundle.name not in cache:
+        generator = bundle.workload_generator(seed=41)
+        workloads = generator.standard_suite(QUERIES)
+        if bundle.name == "DBLP":
+            # The paper also runs 2x-size workloads on DBLP
+            # (Naive-Greedy is skipped there, as in the paper).
+            workloads += generator.standard_suite(QUERIES * 2)
+        algorithms = ("greedy", "naive-greedy", "two-step") if RUN_NAIVE \
+            else ("greedy", "two-step")
+        cache[bundle.name] = compare_algorithms(
+            bundle, workloads, algorithms=algorithms,
+            naive_max_queries=QUERIES, trace=TRACE)
+    result = cache[bundle.name]
+    if emit is not None and TRACE:
+        report = result.trace_report()
+        if report:
+            emit(report)
     return result

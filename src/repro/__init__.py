@@ -30,6 +30,8 @@ from .mapping import (Mapping, Shredder, UnionDistribution,
                       collect_statistics, derive_schema, derive_table_stats,
                       enumerate_transformations, fully_split,
                       hybrid_inlining, load_documents, shared_inlining)
+from .obs import (NULL_TRACER, Tracer, render_tree, set_tracer, summarize,
+                  to_json as trace_to_json)
 from .physdesign import Configuration, IndexTuningAdvisor, materialize
 from .search import (DesignResult, GreedySearch, NaiveGreedySearch,
                      TwoStepSearch)
@@ -57,6 +59,9 @@ __all__ = [
     "collect_statistics", "derive_table_stats", "enumerate_transformations",
     # physical design
     "IndexTuningAdvisor", "Configuration", "materialize",
+    # observability
+    "Tracer", "NULL_TRACER", "set_tracer", "render_tree", "trace_to_json",
+    "summarize",
     # translation / workloads / search
     "Translator", "translate_xpath", "Workload", "WorkloadGenerator",
     "GreedySearch", "NaiveGreedySearch", "TwoStepSearch", "DesignResult",

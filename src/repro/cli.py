@@ -26,6 +26,7 @@ from pathlib import Path
 
 from .engine import Database
 from .errors import ReproError
+from .obs import NULL_TRACER, Tracer, render_tree, to_json
 from .mapping import (derive_schema, fully_split, hybrid_inlining,
                       load_documents, shared_inlining, collect_statistics)
 from .search import GreedySearch, NaiveGreedySearch, TwoStepSearch
@@ -187,13 +188,23 @@ def cmd_advise(args, out=None) -> int:
     storage_bound = (args.storage_bound_mb * 1024 * 1024
                      if args.storage_bound_mb else None)
     search_cls = ALGORITHMS[args.algorithm]
-    search = search_cls(tree, workload, stats, storage_bound=storage_bound)
+    tracing = args.trace or args.trace_json
+    tracer = Tracer() if tracing else NULL_TRACER
+    search = search_cls(tree, workload, stats, storage_bound=storage_bound,
+                        tracer=tracer)
     result = search.run()
     print(result.describe(), file=out)
     counters = result.counters
     print(f"\nsearch: {counters.transformations_searched} transformations, "
           f"{counters.tuner_calls} tuner calls, "
           f"{counters.wall_time:.1f}s", file=out)
+    if args.trace:
+        print("\ntrace:", file=out)
+        print(render_tree(tracer), file=out)
+    if args.trace_json:
+        Path(args.trace_json).write_text(to_json(tracer),
+                                         encoding="utf-8")
+        print(f"\nwrote trace JSON to {args.trace_json}", file=out)
     if args.measure:
         from .experiments import measure_workload, realize
         db = realize(result.schema, result.configuration, docs[0]
@@ -296,6 +307,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_advise.add_argument("--storage-bound-mb", type=int, default=None)
     p_advise.add_argument("--measure", action="store_true",
                           help="also load the data and measure the design")
+    p_advise.add_argument("--trace", action="store_true",
+                          help="print a per-phase span trace of the search")
+    p_advise.add_argument("--trace-json", metavar="FILE", default=None,
+                          help="write the span trace as JSON to FILE")
     p_advise.set_defaults(func=cmd_advise)
 
     p_exp = sub.add_parser("experiment", help="run a paper experiment")

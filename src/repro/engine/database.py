@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import CatalogError, ExecutionError
+from ..obs import NullTracer, Tracer, get_tracer
 from ..sqlast import Query, parse_sql
 from .cost import CostCounter
 from .index import Index, primary_key_index
@@ -50,10 +51,13 @@ class ExecutionResult:
 class Database:
     """An in-memory relational database with a cost-based optimizer."""
 
-    def __init__(self, name: str = "db"):
+    def __init__(self, name: str = "db",
+                 tracer: "Tracer | NullTracer | None" = None):
         self.name = name
         self.catalog = Catalog()
         self.stats = StatisticsCatalog()
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self._metrics = self.tracer.metrics("database")
 
     # ------------------------------------------------------------------
     # DDL
@@ -158,6 +162,7 @@ class Database:
                  extra_indexes: list[Index] | None = None,
                  extra_tables: list[Table] | None = None) -> PlannedQuery:
         """Optimizer-estimated cost; supports hypothetical objects."""
+        self._metrics.incr("estimate_calls")
         optimizer = Optimizer(self.catalog, self.stats, what_if=True,
                               extra_indexes=extra_indexes,
                               extra_tables=extra_tables)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs import NULL_TRACER, Tracer, summarize
 from ..search import DesignResult, GreedySearch, NaiveGreedySearch, TwoStepSearch
 from ..workload import Workload
 from .harness import (Baseline, DatasetBundle, measure_design,
@@ -37,6 +38,7 @@ class AlgorithmRun:
     normalized_cost: float     # vs. tuned hybrid inlining (Fig. 4)
     wall_time: float
     transformations: int
+    trace_summary: str = ""    # per-phase breakdown (when traced)
 
 
 @dataclass
@@ -90,10 +92,24 @@ class ComparisonResult:
             f"Fig. 6 ({self.bundle_name}) — transformations searched",
             "workload", series)
 
+    def trace_report(self) -> str:
+        """Per-run span summaries (empty unless run with ``trace=True``).
+
+        This is what turns the Fig. 5 wall-time ratios into auditable
+        numbers: each run's advisor calls, optimizer calls, cache hit
+        ratios, and per-phase times, side by side.
+        """
+        blocks = [
+            f"trace — {self.bundle_name} / {run.algorithm} / "
+            f"{run.workload_name}\n{run.trace_summary}"
+            for run in self.runs if run.trace_summary]
+        return "\n\n".join(blocks)
+
 
 def _make_search(algorithm: str, bundle: DatasetBundle,
-                 workload: Workload, naive_max_rounds: int):
-    common = dict(storage_bound=bundle.storage_bound)
+                 workload: Workload, naive_max_rounds: int,
+                 tracer=None):
+    common = dict(storage_bound=bundle.storage_bound, tracer=tracer)
     if algorithm == "greedy":
         return GreedySearch(bundle.tree, workload, bundle.stats, **common)
     if algorithm == "naive-greedy":
@@ -107,8 +123,15 @@ def _make_search(algorithm: str, bundle: DatasetBundle,
 def compare_algorithms(bundle: DatasetBundle, workloads: list[Workload],
                        algorithms: tuple[str, ...] = ALGORITHMS,
                        naive_max_queries: int = 10,
-                       naive_max_rounds: int = 6) -> ComparisonResult:
-    """Run the algorithms on each workload and measure their designs."""
+                       naive_max_rounds: int = 6,
+                       trace: bool = False) -> ComparisonResult:
+    """Run the algorithms on each workload and measure their designs.
+
+    With ``trace=True`` each run gets its own :class:`repro.obs.Tracer`
+    and the run's aggregated span summary is kept on
+    :attr:`AlgorithmRun.trace_summary` (see
+    :meth:`ComparisonResult.trace_report`).
+    """
     out = ComparisonResult(bundle_name=bundle.name)
     for workload in workloads:
         baseline = tuned_hybrid_baseline(bundle, workload)
@@ -117,8 +140,9 @@ def compare_algorithms(bundle: DatasetBundle, workloads: list[Workload],
             if algorithm == "naive-greedy" and \
                     len(workload) > naive_max_queries:
                 continue  # the paper could not finish these either
+            tracer = Tracer() if trace else NULL_TRACER
             search = _make_search(algorithm, bundle, workload,
-                                  naive_max_rounds)
+                                  naive_max_rounds, tracer=tracer)
             result = search.run()
             measured = measure_design(result, bundle)
             out.runs.append(AlgorithmRun(
@@ -129,5 +153,6 @@ def compare_algorithms(bundle: DatasetBundle, workloads: list[Workload],
                 normalized_cost=measured / max(baseline.measured_cost, 1e-9),
                 wall_time=result.counters.wall_time,
                 transformations=result.counters.transformations_searched,
+                trace_summary=summarize(tracer) if trace else "",
             ))
     return out

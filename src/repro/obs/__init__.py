@@ -1,0 +1,34 @@
+"""Structured observability: span tracer, events, metric registries.
+
+The search stack (``GreedySearch``, ``MappingEvaluator``,
+``IndexTuningAdvisor``, ``Database.estimate``) is instrumented against
+this package; pass a :class:`Tracer` (or install one ambiently with
+:func:`set_tracer`) to get a per-phase breakdown of a design search.
+See docs/observability.md.
+"""
+
+from .export import (find_spans, iter_spans, render_tree, sum_attribute,
+                     summarize, to_json, trace_to_dicts)
+from .metrics import NULL_METRICS, MetricRegistry, NullMetricRegistry
+from .trace import (NULL_TRACER, Event, NullTracer, Span, Tracer,
+                    get_tracer, set_tracer)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "Event",
+    "get_tracer",
+    "set_tracer",
+    "MetricRegistry",
+    "NullMetricRegistry",
+    "NULL_METRICS",
+    "render_tree",
+    "to_json",
+    "trace_to_dicts",
+    "summarize",
+    "iter_spans",
+    "find_spans",
+    "sum_attribute",
+]

@@ -1,0 +1,47 @@
+"""Per-component metric registries.
+
+A :class:`MetricRegistry` is a named bag of monotonically increasing
+counters — cheap enough to increment on hot paths (``database``,
+``advisor``, ``evaluator`` components), cheap to snapshot, and
+deterministic to render (counters sorted by name).
+"""
+
+from __future__ import annotations
+
+__all__ = ["MetricRegistry", "NullMetricRegistry", "NULL_METRICS"]
+
+
+class MetricRegistry:
+    """Named counters for one component."""
+
+    __slots__ = ("component", "counters")
+
+    def __init__(self, component: str):
+        self.component = component
+        self.counters: dict[str, float] = {}
+
+    def incr(self, name: str, delta: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    def get(self, name: str) -> float:
+        return self.counters.get(name, 0)
+
+    def snapshot(self) -> dict[str, float]:
+        """Counters sorted by name (deterministic rendering order)."""
+        return {name: self.counters[name] for name in sorted(self.counters)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<MetricRegistry {self.component!r} {self.snapshot()}>"
+
+
+class NullMetricRegistry(MetricRegistry):
+    """The disabled registry: increments vanish."""
+
+    def __init__(self):
+        super().__init__("null")
+
+    def incr(self, name: str, delta: float = 1) -> None:
+        pass
+
+
+NULL_METRICS = NullMetricRegistry()

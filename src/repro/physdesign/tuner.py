@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from ..engine import Database, Index
 from ..errors import PlanError, SearchError
+from ..obs import NullTracer, Tracer, get_tracer
 from ..sqlast import Query
 from .candidates import CandidateGenerator
 from .config import Configuration, ViewCandidate
@@ -56,23 +57,31 @@ class AdvisorStats:
 
     invocations: int = 0
     optimizer_calls: int = 0
+    cost_cache_lookups: int = 0
+    cost_cache_hits: int = 0
+    heap_reevaluations: int = 0
 
 
 class IndexTuningAdvisor:
     """Greedy what-if physical design advisor."""
 
     def __init__(self, db: Database, max_rounds: int = 12,
-                 min_benefit: float = 1e-6):
+                 min_benefit: float = 1e-6,
+                 tracer: Tracer | NullTracer | None = None):
         self.db = db
         self.max_rounds = max_rounds
         self.min_benefit = min_benefit
         self.stats = AdvisorStats()
+        self.tracer = tracer if tracer is not None else get_tracer()
         # Per-tune cost cache: (query index, signatures of the
         # structures relevant to it) -> (cost, objects used). A
         # candidate index on a table the query never touches cannot
         # change its plan, so most greedy-round evaluations hit here.
         self._cost_cache: dict[tuple, tuple[float, frozenset[str]]] = {}
         self._optimizer_calls = 0
+        self._cache_lookups = 0
+        self._cache_hits = 0
+        self._heap_reevaluations = 0
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -93,8 +102,10 @@ class IndexTuningAdvisor:
                      configuration: Configuration
                      ) -> tuple[float, frozenset[str]]:
         key = (index, self._relevant_signature(tables, configuration))
+        self._cache_lookups += 1
         hit = self._cost_cache.get(key)
         if hit is not None:
+            self._cache_hits += 1
             return hit
         result = self._cost(query, configuration)
         self._optimizer_calls += 1
@@ -114,6 +125,31 @@ class IndexTuningAdvisor:
         loaded tables are charged a maintenance penalty.
         """
         self.stats.invocations += 1
+        self._cache_lookups = 0
+        self._cache_hits = 0
+        self._heap_reevaluations = 0
+        with self.tracer.span("advisor.tune", queries=len(workload),
+                              database=self.db.name) as span:
+            result = self._tune(workload, storage_bound, extra_candidates,
+                                update_load)
+            span.set("candidates", result.candidates_considered)
+            span.set("optimizer_calls", result.optimizer_calls)
+            span.set("cost_cache_lookups", self._cache_lookups)
+            span.set("cost_cache_hits", self._cache_hits)
+            span.set("cost_cache_hit_ratio",
+                     round(self._cache_hits / max(self._cache_lookups, 1), 4))
+            span.set("heap_reevaluations", self._heap_reevaluations)
+            span.set("structures_selected",
+                     len(result.configuration.indexes)
+                     + len(result.configuration.views))
+            span.set("total_cost", result.total_cost)
+        return result
+
+    def _tune(self, workload: list[tuple[Query, float]],
+              storage_bound: int | None = None,
+              extra_candidates: list[Index | ViewCandidate] | None = None,
+              update_load: dict[str, float] | None = None
+              ) -> TuningResult:
         generator = CandidateGenerator(self.db)
         candidates: list[Index | ViewCandidate] = list(extra_candidates or [])
         per_query_tables: list[frozenset[str]] = []
@@ -186,6 +222,7 @@ class IndexTuningAdvisor:
                 continue
             if generation != rounds:
                 # Stale score: re-evaluate against the current config.
+                self._heap_reevaluations += 1
                 score, benefit, new_costs, _ = evaluate(candidate,
                                                         current_costs)
                 if benefit <= self.min_benefit:
@@ -214,6 +251,9 @@ class IndexTuningAdvisor:
         for view in chosen.views:
             total += self._maintenance_cost(view, update_load)
         self.stats.optimizer_calls += self._optimizer_calls
+        self.stats.cost_cache_lookups += self._cache_lookups
+        self.stats.cost_cache_hits += self._cache_hits
+        self.stats.heap_reevaluations += self._heap_reevaluations
         return TuningResult(
             configuration=chosen,
             total_cost=total,

@@ -5,7 +5,7 @@ from .candidate_selection import (CandidateSelector, CandidateSet,
                                   apply_splits)
 from .cost_derivation import CostDerivation, affected_annotations
 from .evaluator import (EvaluatedMapping, MappingEvaluator,
-                        build_stats_only_database)
+                        build_stats_only_database, mapping_digest)
 from .greedy import GreedySearch
 from .naive import NaiveGreedySearch
 from .result import DesignResult, SearchCounters, Stopwatch
@@ -22,6 +22,7 @@ __all__ = [
     "MappingEvaluator",
     "EvaluatedMapping",
     "build_stats_only_database",
+    "mapping_digest",
     "CandidateSelector",
     "CandidateSet",
     "apply_splits",

@@ -25,7 +25,6 @@ from ..mapping import (Inline, Outline, RepetitionMerge, RepetitionSplit,
                        Transformation, TypeMerge, TypeSplit, UnionDistribute,
                        UnionFactorize)
 from ..sqlast import Query
-from ..xsd import NodeKind
 from .evaluator import EvaluatedMapping
 
 

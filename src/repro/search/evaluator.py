@@ -16,13 +16,15 @@ paper's "carefully avoids searching duplicated mappings".
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 from ..engine import Database
 from ..errors import SearchError, TranslationError
 from ..mapping import (CollectedStats, MappedSchema, Mapping, derive_schema,
                        derive_table_stats)
-from ..physdesign import IndexTuningAdvisor, TuningResult
+from ..obs import NULL_TRACER, NullTracer, Tracer, get_tracer
+from ..physdesign import IndexTuningAdvisor, QueryReport, TuningResult
 from ..sqlast import Query
 from ..translate import Translator
 from ..workload import Workload
@@ -44,15 +46,44 @@ class EvaluatedMapping:
         return self.tuning.total_cost
 
 
+def _digest(text: str) -> str:
+    return hashlib.sha1(text.encode("utf-8")).hexdigest()[:12]
+
+
+def mapping_digest(mapping: Mapping) -> str:
+    """A short, run-to-run-stable hash of a mapping's signature.
+
+    ``repr`` of the signature tuple is *not* stable across interpreter
+    runs (the distributions live in a frozenset whose iteration order
+    depends on string hashing), so the set members are serialized
+    sorted.
+    """
+    annotations, split_counts, distributions = mapping.signature()
+    canonical = "|".join([repr(annotations), repr(split_counts),
+                          ";".join(sorted(repr(d) for d in distributions))])
+    return _digest(canonical)
+
+
 def build_stats_only_database(schema: MappedSchema,
-                              collected: CollectedStats) -> Database:
-    """A data-free database whose tables carry derived statistics."""
-    db = Database(name=f"whatif:{id(schema)}")
+                              collected: CollectedStats,
+                              name: str | None = None,
+                              tracer: Tracer | NullTracer | None = None
+                              ) -> Database:
+    """A data-free database whose tables carry derived statistics.
+
+    The default name hashes the relational schema's description, so it
+    is identical across runs for identical schemas (``id()``-based
+    names used to leak run-to-run nondeterminism into traces and
+    reports).
+    """
+    if name is None:
+        name = f"whatif:{_digest(schema.describe())}"
+    db = Database(name=name, tracer=tracer)
     table_stats = derive_table_stats(schema, collected)
     for table in schema.to_engine_tables():
         db.register_table(table)
-    for name, stats in table_stats.items():
-        db.set_table_stats(name, stats)
+    for name_, stats in table_stats.items():
+        db.set_table_stats(name_, stats)
     return db
 
 
@@ -62,12 +93,15 @@ class MappingEvaluator:
     def __init__(self, workload: Workload, collected: CollectedStats,
                  storage_bound: int | None = None,
                  use_cache: bool = True,
-                 counters: SearchCounters | None = None):
+                 counters: SearchCounters | None = None,
+                 tracer: Tracer | NullTracer | None = None):
         self.workload = workload
         self.collected = collected
         self.storage_bound = storage_bound
         self.use_cache = use_cache
         self.counters = counters or SearchCounters()
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self._metrics = self.tracer.metrics("evaluator")
         self._cache: dict[tuple, EvaluatedMapping | None] = {}
         self._partial_cache: dict[tuple, EvaluatedMapping | None] = {}
 
@@ -78,6 +112,8 @@ class MappingEvaluator:
         key = mapping.signature()
         if self.use_cache and key in self._cache:
             self.counters.cache_hits += 1
+            self._metrics.incr("cache_hits_exact")
+            self.tracer.event("cache_hit", kind="exact")
             return self._cache[key]
         result = self._evaluate_uncached(mapping)
         if self.use_cache:
@@ -105,67 +141,145 @@ class MappingEvaluator:
 
     def _evaluate_uncached(self, mapping: Mapping) -> EvaluatedMapping | None:
         self.counters.mappings_evaluated += 1
-        schema = derive_schema(mapping)
-        try:
-            sql_queries = self.translate_workload(schema)
-        except TranslationError:
-            return None
-        db = build_stats_only_database(schema, self.collected)
-        advisor = IndexTuningAdvisor(db)
-        try:
-            tuning = advisor.tune(sql_queries, self.storage_bound,
-                                  update_load=self._update_load(schema))
-        except SearchError:
-            return None
-        self.counters.tuner_calls += 1
-        self.counters.optimizer_calls += tuning.optimizer_calls
-        return EvaluatedMapping(mapping=mapping, schema=schema, database=db,
-                                sql_queries=sql_queries, tuning=tuning)
+        with self.tracer.span("evaluate.exact") as span:
+            schema = derive_schema(mapping)
+            try:
+                sql_queries = self.translate_workload(schema)
+            except TranslationError:
+                span.set("outcome", "translation_failed")
+                self._metrics.incr("translation_failures")
+                return None
+            db = build_stats_only_database(
+                schema, self.collected,
+                name=f"whatif:{mapping_digest(mapping)}",
+                tracer=self.tracer)
+            advisor = IndexTuningAdvisor(db, tracer=self.tracer)
+            try:
+                tuning = advisor.tune(sql_queries, self.storage_bound,
+                                      update_load=self._update_load(schema))
+            except SearchError:
+                span.set("outcome", "tuning_failed")
+                self._metrics.incr("tuning_failures")
+                return None
+            self.counters.tuner_calls += 1
+            self.counters.optimizer_calls += tuning.optimizer_calls
+            span.set("outcome", "ok")
+            span.set("total_cost", tuning.total_cost)
+            span.set("database", db.name)
+            return EvaluatedMapping(mapping=mapping, schema=schema,
+                                    database=db, sql_queries=sql_queries,
+                                    tuning=tuning)
 
     # ------------------------------------------------------------------
     def evaluate_partial(self, mapping: Mapping,
-                         reuse: dict[int, float]) -> EvaluatedMapping | None:
+                         reuse: dict[int, float],
+                         base: EvaluatedMapping | None = None
+                         ) -> EvaluatedMapping | None:
         """Cost a mapping, reusing known per-query costs (Section 4.8).
 
         ``reuse`` maps workload indices to already-known costs; only the
         remaining queries are passed to the physical design tool, which
-        is what makes cost derivation cheaper.
+        is what makes cost derivation cheaper. ``base`` is the
+        evaluation the reused costs came from — its per-query reports
+        supply the carried-over ``objects_used`` so the synthesized
+        full-workload reports stay usable by a later derivation pass.
         """
         key = (mapping.signature(),
-               frozenset((i, round(cost, 6)) for i, cost in reuse.items()))
+               frozenset((i, round(cost, 6)) for i, cost in reuse.items()),
+               frozenset((i, report.objects_used) for i, report
+                         in self._reused_reports(reuse, base).items()))
         if self.use_cache and key in self._partial_cache:
             self.counters.cache_hits += 1
+            self._metrics.incr("cache_hits_partial")
+            self.tracer.event("cache_hit", kind="partial")
             return self._partial_cache[key]
-        result = self._evaluate_partial_uncached(mapping, reuse)
+        result = self._evaluate_partial_uncached(mapping, reuse, base)
         if self.use_cache:
             self._partial_cache[key] = result
         return result
 
+    @staticmethod
+    def _reused_reports(reuse: dict[int, float],
+                        base: EvaluatedMapping | None
+                        ) -> dict[int, QueryReport]:
+        if base is None:
+            return {}
+        return {i: base.tuning.reports[i] for i in reuse
+                if i < len(base.tuning.reports)}
+
     def _evaluate_partial_uncached(self, mapping: Mapping,
-                                   reuse: dict[int, float]
+                                   reuse: dict[int, float],
+                                   base: EvaluatedMapping | None = None
                                    ) -> EvaluatedMapping | None:
         self.counters.mappings_evaluated += 1
-        schema = derive_schema(mapping)
-        try:
-            sql_queries = self.translate_workload(schema)
-        except TranslationError:
-            return None
-        db = build_stats_only_database(schema, self.collected)
-        remaining = [(q, w) for i, (q, w) in enumerate(sql_queries)
-                     if i not in reuse]
-        advisor = IndexTuningAdvisor(db)
-        try:
-            tuning = advisor.tune(remaining, self.storage_bound,
-                                  update_load=self._update_load(schema))
-        except SearchError:
-            return None
-        self.counters.tuner_calls += 1
-        self.counters.optimizer_calls += tuning.optimizer_calls
-        self.counters.derived_query_costs += len(reuse)
-        reused_cost = sum(self.workload.queries[i].weight * cost
-                          for i, cost in reuse.items())
-        # Patch the tuning result so downstream reporting sees the full
-        # workload cost.
-        tuning.total_cost += reused_cost
-        return EvaluatedMapping(mapping=mapping, schema=schema, database=db,
-                                sql_queries=sql_queries, tuning=tuning)
+        with self.tracer.span("evaluate.partial",
+                              reused=len(reuse)) as span:
+            schema = derive_schema(mapping)
+            try:
+                sql_queries = self.translate_workload(schema)
+            except TranslationError:
+                span.set("outcome", "translation_failed")
+                self._metrics.incr("translation_failures")
+                return None
+            db = build_stats_only_database(
+                schema, self.collected,
+                name=f"whatif:{mapping_digest(mapping)}",
+                tracer=self.tracer)
+            remaining = [(q, w) for i, (q, w) in enumerate(sql_queries)
+                         if i not in reuse]
+            span.set("remaining", len(remaining))
+            advisor = IndexTuningAdvisor(db, tracer=self.tracer)
+            try:
+                tuning = advisor.tune(remaining, self.storage_bound,
+                                      update_load=self._update_load(schema))
+            except SearchError:
+                span.set("outcome", "tuning_failed")
+                self._metrics.incr("tuning_failures")
+                return None
+            self.counters.tuner_calls += 1
+            self.counters.optimizer_calls += tuning.optimizer_calls
+            self.counters.derived_query_costs += len(reuse)
+            full = self._align_partial(tuning, sql_queries, reuse, base)
+            span.set("outcome", "ok")
+            span.set("total_cost", full.total_cost)
+            span.set("database", db.name)
+            return EvaluatedMapping(mapping=mapping, schema=schema,
+                                    database=db, sql_queries=sql_queries,
+                                    tuning=full)
+
+    def _align_partial(self, tuning: TuningResult,
+                       sql_queries: list[tuple[Query, float]],
+                       reuse: dict[int, float],
+                       base: EvaluatedMapping | None) -> TuningResult:
+        """Rebuild a partial tuning result on full-workload positions.
+
+        The advisor only saw the non-reused queries, so its ``reports``
+        list is shorter than the workload and indexed by *remaining*
+        position. Consumers (``CostDerivation.reusable_costs``,
+        ``TuningResult.cost_of``) index reports by full-workload
+        position; returning the advisor's result unmodified silently
+        misaligned every downstream per-query lookup. Reused queries get
+        a synthesized report carrying their derived cost and the object
+        set of the evaluation they were derived from.
+        """
+        prior = self._reused_reports(reuse, base)
+        remaining_reports = iter(tuning.reports)
+        reports: list[QueryReport] = []
+        reused_cost = 0.0
+        for i, (query, weight) in enumerate(sql_queries):
+            if i in reuse:
+                carried = prior.get(i)
+                reports.append(QueryReport(
+                    query=query, weight=weight, cost=reuse[i],
+                    objects_used=(carried.objects_used if carried is not None
+                                  else frozenset())))
+                reused_cost += weight * reuse[i]
+            else:
+                reports.append(next(remaining_reports))
+        return TuningResult(
+            configuration=tuning.configuration,
+            total_cost=tuning.total_cost + reused_cost,
+            reports=reports,
+            optimizer_calls=tuning.optimizer_calls,
+            candidates_considered=tuning.candidates_considered,
+        )

@@ -26,6 +26,7 @@ from __future__ import annotations
 from ..mapping import (CollectedStats, Mapping, RepetitionMerge,
                        Transformation, UnionDistribute, UnionFactorize,
                        enumerate_transformations, hybrid_inlining)
+from ..obs import NullTracer, Tracer, get_tracer
 from ..workload import Workload
 from ..xsd import SchemaTree
 from .candidate_merging import CandidateMerger
@@ -47,7 +48,8 @@ class GreedySearch:
                  merging: str = "greedy",
                  use_cost_derivation: bool = True,
                  cmax: int = 5, coverage: float = 0.80,
-                 max_rounds: int = 25):
+                 max_rounds: int = 25,
+                 tracer: Tracer | NullTracer | None = None):
         if merging not in ("greedy", "none", "exhaustive"):
             raise ValueError(f"unknown merging mode {merging!r}")
         self.tree = tree
@@ -62,22 +64,42 @@ class GreedySearch:
         self.cmax = cmax
         self.coverage = coverage
         self.max_rounds = max_rounds
+        self.tracer = tracer if tracer is not None else get_tracer()
         self.counters = SearchCounters()
 
     # ------------------------------------------------------------------
     def run(self) -> DesignResult:
         with Stopwatch(self.counters):
-            return self._run()
+            with self.tracer.span("greedy",
+                                  workload=self.workload.name,
+                                  queries=len(self.workload)) as span:
+                result = self._run(span)
+        if self.tracer.enabled:
+            span.set("rounds", result.rounds)
+            span.set("estimated_cost", result.estimated_cost)
+            result.trace = span
+        return result
 
-    def _run(self) -> DesignResult:
+    def _run(self, trace) -> DesignResult:
         evaluator = MappingEvaluator(self.workload, self.collected,
                                      self.storage_bound,
-                                     counters=self.counters)
-        candidates = self._select_candidates()
-        splits = self._merge_split_candidates(candidates)
+                                     counters=self.counters,
+                                     tracer=self.tracer)
+        with self.tracer.span("select_candidates") as span:
+            candidates = self._select_candidates()
+            span.set("splits", len(candidates.splits))
+            span.set("merges", len(candidates.merges))
+            span.set("implicit_unions", len(candidates.implicit_unions))
+        with self.tracer.span("merge_candidates",
+                              mode=self.merging) as span:
+            splits = self._merge_split_candidates(candidates)
+            span.set("split_pool", len(splits))
         m0, applied_splits = apply_splits(self.base_mapping, splits)
-        base_eval = evaluator.evaluate(self.base_mapping)
-        current = evaluator.evaluate(m0)
+        with self.tracer.span("evaluate_base"):
+            base_eval = evaluator.evaluate(self.base_mapping)
+        with self.tracer.span("evaluate_m0",
+                              splits_applied=len(applied_splits)):
+            current = evaluator.evaluate(m0)
         if current is None:
             # Fall back to the unsplit base mapping.
             current = base_eval
@@ -94,47 +116,64 @@ class GreedySearch:
         exact_rescue_used = False
         while rounds < self.max_rounds:
             rounds += 1
-            best: tuple[float, Transformation, EvaluatedMapping] | None = None
-            scored: list[tuple[float, Transformation]] = []
-            for candidate in pool:
-                evaluated = self._cost_candidate(candidate, current,
-                                                 evaluator)
-                if evaluated is None:
-                    continue
-                scored.append((evaluated.total_cost, candidate))
-                if evaluated.total_cost < current.total_cost and \
-                        (best is None or evaluated.total_cost < best[0]):
-                    best = (evaluated.total_cost, candidate, evaluated)
-            if best is None and self.derivation.enabled and \
-                    not exact_rescue_used and scored:
-                # Derivation is heuristic; before stopping, exact-check
-                # the lowest-derived-cost candidates so its noise cannot
-                # end the search early (keeps the paper's <= few-percent
-                # quality loss at a bounded extra cost).
-                exact_rescue_used = True
-                scored.sort(key=lambda pair: pair[0])
-                for _, candidate in scored[:3]:
-                    evaluated = self._cost_candidate(
-                        candidate, current, evaluator, exact=True)
+            with self.tracer.span("round", index=rounds,
+                                  pool=len(pool)) as round_span:
+                best: tuple[float, Transformation,
+                            EvaluatedMapping] | None = None
+                scored: list[tuple[float, Transformation]] = []
+                for candidate in pool:
+                    evaluated = self._cost_candidate(candidate, current,
+                                                     evaluator)
                     if evaluated is None:
                         continue
+                    scored.append((evaluated.total_cost, candidate))
                     if evaluated.total_cost < current.total_cost and \
-                            (best is None or evaluated.total_cost < best[0]):
+                            (best is None or
+                             evaluated.total_cost < best[0]):
                         best = (evaluated.total_cost, candidate, evaluated)
-            if best is None:
-                break
-            _, winner, evaluated = best
-            if self.derivation.enabled:
-                # Re-estimate the round winner without derivation
-                # (Fig. 3 line 18 / Section 4.8 closing remark).
-                exact = evaluator.evaluate(evaluated.mapping)
-                if exact is None or exact.total_cost >= current.total_cost:
-                    pool = [c for c in pool if c is not winner]
-                    continue
-                evaluated = exact
-            current = evaluated
-            applied_log.append(str(winner))
-            pool = [c for c in pool if c is not winner]
+                round_span.set("scored", len(scored))
+                if best is None and self.derivation.enabled and \
+                        not exact_rescue_used and scored:
+                    # Derivation is heuristic; before stopping,
+                    # exact-check the lowest-derived-cost candidates so
+                    # its noise cannot end the search early (keeps the
+                    # paper's <= few-percent quality loss at a bounded
+                    # extra cost).
+                    exact_rescue_used = True
+                    round_span.set("exact_rescue", True)
+                    scored.sort(key=lambda pair: pair[0])
+                    for _, candidate in scored[:3]:
+                        evaluated = self._cost_candidate(
+                            candidate, current, evaluator, exact=True)
+                        if evaluated is None:
+                            continue
+                        if evaluated.total_cost < current.total_cost and \
+                                (best is None or
+                                 evaluated.total_cost < best[0]):
+                            best = (evaluated.total_cost, candidate,
+                                    evaluated)
+                if best is None:
+                    round_span.set("improved", False)
+                    break
+                _, winner, evaluated = best
+                if self.derivation.enabled:
+                    # Re-estimate the round winner without derivation
+                    # (Fig. 3 line 18 / Section 4.8 closing remark).
+                    with self.tracer.span("recheck_winner"):
+                        exact = evaluator.evaluate(evaluated.mapping)
+                    if exact is None or \
+                            exact.total_cost >= current.total_cost:
+                        round_span.set("improved", False)
+                        round_span.set("winner_rejected", str(winner))
+                        pool = [c for c in pool if c is not winner]
+                        continue
+                    evaluated = exact
+                current = evaluated
+                applied_log.append(str(winner))
+                pool = [c for c in pool if c is not winner]
+                round_span.set("improved", True)
+                round_span.set("winner", str(winner))
+                round_span.set("cost", evaluated.total_cost)
         # Never return a design costlier than the base mapping's tuned
         # design: if the split-everything start landed in a bad local
         # minimum the merges could not escape, fall back.
@@ -189,11 +228,7 @@ class GreedySearch:
             merged = merger.merge_greedy(candidates.implicit_unions)
         else:
             merged = merger.merge_exhaustive(candidates.implicit_unions)
-        out: list[Transformation] = []
-        for transformation in candidates.splits:
-            if isinstance(transformation, UnionDistribute) and \
-                    transformation.distribution.is_implicit:
-                continue  # replaced by the merged pool
+        # Implicit-union candidates are replaced by the merged pool.
         out = [t for t in candidates.splits
                if not (isinstance(t, UnionDistribute)
                        and t.distribution.is_implicit)]
@@ -230,11 +265,23 @@ class GreedySearch:
         if self.derivation.enabled and not exact:
             hit = evaluator.cached(mapping)
             if hit is not None:
+                if self.tracer.enabled:
+                    self.tracer.event("derivation", kind="cached",
+                                      candidate=str(candidate))
                 return hit
             reuse = self.derivation.reusable_costs(candidate, current)
             # Partial evaluation only pays when a meaningful share of
             # the workload carries over; otherwise it costs nearly a
             # full advisor call *plus* the exact re-check of winners.
             if len(reuse) >= 0.25 * len(self.workload):
-                return evaluator.evaluate_partial(mapping, reuse)
+                if self.tracer.enabled:
+                    self.tracer.event("derivation", kind="hit",
+                                      candidate=str(candidate),
+                                      reused=len(reuse))
+                return evaluator.evaluate_partial(mapping, reuse,
+                                                  base=current)
+            if self.tracer.enabled:
+                self.tracer.event("derivation", kind="miss",
+                                  candidate=str(candidate),
+                                  reused=len(reuse))
         return evaluator.evaluate(mapping)

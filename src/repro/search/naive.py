@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from ..mapping import (CollectedStats, Mapping, enumerate_transformations,
                        hybrid_inlining)
+from ..obs import NullTracer, Tracer, get_tracer
 from ..workload import Workload
 from ..xsd import SchemaTree
 from .evaluator import EvaluatedMapping, MappingEvaluator
@@ -31,7 +32,8 @@ class NaiveGreedySearch:
                  base_mapping: Mapping | None = None,
                  default_split_count: int = 5,
                  max_rounds: int = 25,
-                 include_subsumed: bool = True):
+                 include_subsumed: bool = True,
+                 tracer: Tracer | NullTracer | None = None):
         self.tree = tree
         self.workload = workload
         self.collected = collected
@@ -43,17 +45,27 @@ class NaiveGreedySearch:
         # the naive per-round enumeration, restricted to non-subsumed
         # transformations (subsumed-pruning without the other rules).
         self.include_subsumed = include_subsumed
+        self.tracer = tracer if tracer is not None else get_tracer()
         self.counters = SearchCounters()
 
     def run(self) -> DesignResult:
         with Stopwatch(self.counters):
-            return self._run()
+            with self.tracer.span("naive-greedy",
+                                  workload=self.workload.name,
+                                  queries=len(self.workload)) as span:
+                result = self._run()
+        if self.tracer.enabled:
+            span.set("rounds", result.rounds)
+            span.set("estimated_cost", result.estimated_cost)
+            result.trace = span
+        return result
 
     def _run(self) -> DesignResult:
         # Naive-Greedy does not deduplicate mappings: the cache is off.
         evaluator = MappingEvaluator(self.workload, self.collected,
                                      self.storage_bound, use_cache=False,
-                                     counters=self.counters)
+                                     counters=self.counters,
+                                     tracer=self.tracer)
         current = evaluator.evaluate(self.base_mapping)
         if current is None:
             raise RuntimeError("base mapping is infeasible for the workload")
@@ -61,28 +73,38 @@ class NaiveGreedySearch:
         rounds = 0
         while rounds < self.max_rounds:
             rounds += 1
-            best: tuple[float, str, EvaluatedMapping] | None = None
-            transformations = enumerate_transformations(
-                current.mapping, include_subsumed=self.include_subsumed,
-                default_split_count=self.default_split_count)
-            for transformation in transformations:
-                self.counters.transformations_searched += 1
-                try:
-                    mapping = transformation.apply(current.mapping)
-                except Exception:
-                    continue
-                evaluated = evaluator.evaluate(mapping)
-                if evaluated is None:
-                    continue
-                if evaluated.total_cost < current.total_cost and \
-                        (best is None or evaluated.total_cost < best[0]):
-                    best = (evaluated.total_cost, str(transformation),
-                            evaluated)
-            if best is None:
-                break
-            _, name, evaluated = best
-            current = evaluated
-            applied.append(name)
+            with self.tracer.span("round", index=rounds) as round_span:
+                best: tuple[float, str, EvaluatedMapping] | None = None
+                transformations = enumerate_transformations(
+                    current.mapping,
+                    include_subsumed=self.include_subsumed,
+                    default_split_count=self.default_split_count)
+                enumerated = 0
+                for transformation in transformations:
+                    enumerated += 1
+                    self.counters.transformations_searched += 1
+                    try:
+                        mapping = transformation.apply(current.mapping)
+                    except Exception:
+                        continue
+                    evaluated = evaluator.evaluate(mapping)
+                    if evaluated is None:
+                        continue
+                    if evaluated.total_cost < current.total_cost and \
+                            (best is None or
+                             evaluated.total_cost < best[0]):
+                        best = (evaluated.total_cost, str(transformation),
+                                evaluated)
+                round_span.set("enumerated", enumerated)
+                if best is None:
+                    round_span.set("improved", False)
+                    break
+                _, name, evaluated = best
+                current = evaluated
+                applied.append(name)
+                round_span.set("improved", True)
+                round_span.set("winner", name)
+                round_span.set("cost", evaluated.total_cost)
         return DesignResult(
             algorithm="naive-greedy",
             workload=self.workload,

@@ -6,6 +6,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..mapping import MappedSchema, Mapping
+from ..obs import Span
 from ..physdesign import Configuration
 from ..sqlast import Query
 from ..workload import Workload
@@ -47,6 +48,9 @@ class DesignResult:
     counters: SearchCounters
     rounds: int = 0
     applied: list[str] = field(default_factory=list)
+    #: Root span of the search's trace; ``None`` unless the search ran
+    #: with an enabled :class:`repro.obs.Tracer`.
+    trace: Span | None = None
 
     def describe(self) -> str:
         lines = [

@@ -22,7 +22,7 @@ from ..engine import Index
 from ..errors import SearchError, TranslationError
 from ..mapping import (CollectedStats, Mapping, enumerate_transformations,
                        hybrid_inlining)
-from ..physdesign import IndexTuningAdvisor
+from ..obs import NullTracer, Tracer, get_tracer
 from ..workload import Workload
 from ..xsd import SchemaTree
 from .evaluator import MappingEvaluator, build_stats_only_database
@@ -37,7 +37,8 @@ class TwoStepSearch:
                  storage_bound: int | None = None,
                  base_mapping: Mapping | None = None,
                  default_split_count: int = 5,
-                 max_rounds: int = 25):
+                 max_rounds: int = 25,
+                 tracer: Tracer | NullTracer | None = None):
         self.tree = tree
         self.workload = workload
         self.collected = collected
@@ -45,48 +46,62 @@ class TwoStepSearch:
         self.base_mapping = base_mapping or hybrid_inlining(tree)
         self.default_split_count = default_split_count
         self.max_rounds = max_rounds
+        self.tracer = tracer if tracer is not None else get_tracer()
         self.counters = SearchCounters()
 
     # ------------------------------------------------------------------
     def run(self) -> DesignResult:
         with Stopwatch(self.counters):
-            return self._run()
+            with self.tracer.span("two-step",
+                                  workload=self.workload.name,
+                                  queries=len(self.workload)) as span:
+                result = self._run()
+        if self.tracer.enabled:
+            span.set("rounds", result.rounds)
+            span.set("estimated_cost", result.estimated_cost)
+            result.trace = span
+        return result
 
     def _run(self) -> DesignResult:
-        from ..mapping import derive_schema
-
         current_mapping = self.base_mapping
-        current_cost = self._logical_cost(current_mapping)
-        if current_cost is None:
-            raise SearchError("base mapping is infeasible for the workload")
-        applied: list[str] = []
-        rounds = 0
-        while rounds < self.max_rounds:
-            rounds += 1
-            best: tuple[float, str, Mapping] | None = None
-            for transformation in enumerate_transformations(
-                    current_mapping, include_subsumed=True,
-                    default_split_count=self.default_split_count):
-                self.counters.transformations_searched += 1
-                try:
-                    mapping = transformation.apply(current_mapping)
-                except Exception:
-                    continue
-                cost = self._logical_cost(mapping)
-                if cost is None:
-                    continue
-                if cost < current_cost and (best is None or cost < best[0]):
-                    best = (cost, str(transformation), mapping)
-            if best is None:
-                break
-            current_cost, name, current_mapping = best
-            applied.append(name)
+        with self.tracer.span("logical_step") as logical_span:
+            current_cost = self._logical_cost(current_mapping)
+            if current_cost is None:
+                raise SearchError(
+                    "base mapping is infeasible for the workload")
+            applied: list[str] = []
+            rounds = 0
+            while rounds < self.max_rounds:
+                rounds += 1
+                best: tuple[float, str, Mapping] | None = None
+                for transformation in enumerate_transformations(
+                        current_mapping, include_subsumed=True,
+                        default_split_count=self.default_split_count):
+                    self.counters.transformations_searched += 1
+                    try:
+                        mapping = transformation.apply(current_mapping)
+                    except Exception:
+                        continue
+                    cost = self._logical_cost(mapping)
+                    if cost is None:
+                        continue
+                    if cost < current_cost and \
+                            (best is None or cost < best[0]):
+                        best = (cost, str(transformation), mapping)
+                if best is None:
+                    break
+                current_cost, name, current_mapping = best
+                applied.append(name)
+            logical_span.set("rounds", rounds)
+            logical_span.set("applied", len(applied))
 
         # Step 2: physical design once, on the chosen logical mapping.
         evaluator = MappingEvaluator(self.workload, self.collected,
                                      self.storage_bound,
-                                     counters=self.counters)
-        final = evaluator.evaluate(current_mapping)
+                                     counters=self.counters,
+                                     tracer=self.tracer)
+        with self.tracer.span("physical_step"):
+            final = evaluator.evaluate(current_mapping)
         if final is None:
             raise SearchError("chosen logical mapping became infeasible")
         return DesignResult(
@@ -112,7 +127,8 @@ class TwoStepSearch:
             schema = derive_schema(mapping)
         except Exception:
             return None
-        db = build_stats_only_database(schema, self.collected)
+        db = build_stats_only_database(schema, self.collected,
+                                       tracer=self.tracer)
         default_indexes = []
         for table in db.catalog.base_tables():
             if table.has_column("PID"):

@@ -163,6 +163,39 @@ class TestAdvise:
         assert code == 0
         assert "measured workload cost" in out
 
+    def test_advise_trace_prints_span_tree(self, files):
+        _, dtd, xml, _, workload = files
+        code, out = run_cli([
+            "advise", "--dtd", str(dtd), "--root", "shop",
+            "--xml", str(xml), "--workload", str(workload), "--trace"])
+        assert code == 0
+        assert "trace:" in out
+        assert "- greedy" in out
+        assert "advisor.tune" in out
+
+    def test_advise_trace_json_writes_file(self, files):
+        import json
+        tmp_path, dtd, xml, _, workload = files
+        trace_file = tmp_path / "trace.json"
+        code, out = run_cli([
+            "advise", "--dtd", str(dtd), "--root", "shop",
+            "--xml", str(xml), "--workload", str(workload),
+            "--trace-json", str(trace_file)])
+        assert code == 0
+        assert f"wrote trace JSON to {trace_file}" in out
+        document = json.loads(trace_file.read_text(encoding="utf-8"))
+        assert document["spans"]
+        assert document["spans"][0]["name"] == "greedy"
+        assert document["metrics"]["database"]["estimate_calls"] > 0
+
+    def test_advise_without_trace_stays_quiet(self, files):
+        _, dtd, xml, _, workload = files
+        code, out = run_cli([
+            "advise", "--dtd", str(dtd), "--root", "shop",
+            "--xml", str(xml), "--workload", str(workload)])
+        assert code == 0
+        assert "trace:" not in out
+
 
 class TestExperiment:
     def test_e0(self):

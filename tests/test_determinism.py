@@ -61,3 +61,38 @@ class TestPipelineDeterminism:
                                     for c, cs in s.columns.items())))
                 for name, s in derived.items()})
         assert snapshots[0] == snapshots[1]
+
+
+class TestWhatIfNaming:
+    """What-if database names must be derived from the mapping, not
+    from object identity (``id()`` varies run to run and poisons any
+    cache or trace keyed on the name)."""
+
+    def test_stats_only_database_name_reproducible(self):
+        from repro.datasets import dblp_schema
+        from repro.search import build_stats_only_database
+        names = []
+        for _ in range(2):
+            tree = dblp_schema()
+            doc = generate_dblp(150, seed=9)
+            stats = collect_statistics(tree, doc)
+            schema = derive_schema(hybrid_inlining(tree))
+            names.append(build_stats_only_database(schema, stats).name)
+        assert names[0] == names[1]
+        assert names[0].startswith("whatif:")
+
+    def test_evaluated_database_name_tracks_mapping(self):
+        from repro.datasets import dblp_schema
+        from repro.search import MappingEvaluator, mapping_digest
+        from repro.workload import Workload
+        tree = dblp_schema()
+        doc = generate_dblp(150, seed=9)
+        stats = collect_statistics(tree, doc)
+        wl = Workload.from_strings("w", ["/dblp/inproceedings/title"])
+        mapping = hybrid_inlining(tree)
+        evaluated = MappingEvaluator(wl, stats).evaluate(mapping)
+        assert evaluated.database.name == f"whatif:{mapping_digest(mapping)}"
+        # A structurally identical mapping built from scratch hashes
+        # the same way.
+        assert mapping_digest(hybrid_inlining(dblp_schema())) == \
+            mapping_digest(mapping)

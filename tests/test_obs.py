@@ -1,0 +1,245 @@
+"""Tests for the observability subsystem (repro.obs).
+
+Covers the tracer core (nesting, determinism, the no-op singleton),
+exporters, and — the load-bearing guarantee — that the trace's
+aggregated span attributes agree with the ``SearchCounters`` the
+experiments report, after a full greedy run on the movie schema.
+"""
+
+import json
+
+import pytest
+
+from repro.datasets import generate_movies, movie_schema
+from repro.mapping import collect_statistics
+from repro.obs import (NULL_TRACER, MetricRegistry, Tracer, find_spans,
+                       get_tracer, iter_spans, render_tree, set_tracer,
+                       sum_attribute, summarize, to_json, trace_to_dicts)
+from repro.search import GreedySearch
+from repro.workload import Workload
+
+
+class TestTracerCore:
+    def test_spans_nest(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                inner.set("k", 1)
+            with tracer.span("inner"):
+                pass
+        assert [s.name for s in tracer.spans] == ["outer"]
+        assert [s.name for s in outer.children] == ["inner", "inner"]
+        assert outer.children[0].attributes == {"k": 1}
+        assert tracer.current is None
+
+    def test_sequence_numbers_order_children_and_events(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            tracer.event("first")
+            with tracer.span("child"):
+                pass
+            tracer.event("last")
+        seqs = [root.events[0].seq, root.children[0].seq, root.events[1].seq]
+        assert seqs == sorted(seqs)
+
+    def test_incr_and_event_attributes(self):
+        tracer = Tracer()
+        with tracer.span("s") as span:
+            span.incr("hits")
+            span.incr("hits", 2)
+            span.event("e", kind="x")
+        assert span.attributes["hits"] == 3
+        assert span.events[0].name == "e"
+        assert span.events[0].attributes == {"kind": "x"}
+
+    def test_wall_time_accumulates(self):
+        tracer = Tracer()
+        with tracer.span("s") as span:
+            pass
+        assert span.wall_time >= 0
+
+    def test_exception_unwinds_stack(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        assert tracer.current is None
+
+    def test_metrics_registry(self):
+        tracer = Tracer()
+        tracer.metrics("db").incr("estimate_calls")
+        tracer.metrics("db").incr("estimate_calls", 4)
+        assert tracer.metrics("db") is tracer.metrics("db")
+        assert tracer.metric_snapshot() == {"db": {"estimate_calls": 5}}
+
+    def test_metric_registry_snapshot_sorted(self):
+        registry = MetricRegistry("c")
+        registry.incr("zz")
+        registry.incr("aa")
+        assert list(registry.snapshot()) == ["aa", "zz"]
+
+
+class TestNullTracer:
+    def test_disabled_tracer_records_nothing(self):
+        with NULL_TRACER.span("ignored", attr=1) as span:
+            span.set("k", "v")
+            span.incr("n")
+            span.event("e")
+            NULL_TRACER.event("top")
+        assert not NULL_TRACER.spans
+        assert not NULL_TRACER.events
+        assert span.attributes == {}
+        assert not NULL_TRACER.enabled
+
+    def test_null_span_is_a_shared_singleton(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+    def test_null_metrics_vanish(self):
+        registry = NULL_TRACER.metrics("db")
+        registry.incr("calls", 10)
+        assert registry.get("calls") == 0
+        assert NULL_TRACER.metric_snapshot() == {}
+
+    def test_ambient_tracer_install_and_clear(self):
+        assert get_tracer() is NULL_TRACER
+        tracer = Tracer()
+        try:
+            assert set_tracer(tracer) is tracer
+            assert get_tracer() is tracer
+        finally:
+            set_tracer(None)
+        assert get_tracer() is NULL_TRACER
+
+
+class TestExport:
+    def _sample(self):
+        tracer = Tracer()
+        with tracer.span("tune", queries=2) as span:
+            span.set("optimizer_calls", 7)
+            tracer.event("cache_hit", kind="exact")
+            with tracer.span("estimate"):
+                pass
+        return tracer
+
+    def test_render_tree_is_deterministic_without_times(self):
+        text = render_tree(self._sample(), include_times=False)
+        assert text == ("- tune optimizer_calls=7 queries=2\n"
+                        "  * cache_hit kind=exact\n"
+                        "  - estimate")
+        assert render_tree(self._sample(), include_times=False) == text
+
+    def test_render_tree_includes_times_by_default(self):
+        assert "ms]" in render_tree(self._sample())
+
+    def test_to_json_round_trips(self):
+        document = json.loads(to_json(self._sample()))
+        assert document["spans"][0]["name"] == "tune"
+        assert document["spans"][0]["attributes"]["optimizer_calls"] == 7
+        assert document["spans"][0]["children"][0]["name"] == "estimate"
+        assert document["spans"][0]["events"][0]["name"] == "cache_hit"
+
+    def test_trace_to_dicts_attribute_order_sorted(self):
+        document = trace_to_dicts(self._sample(), include_times=False)
+        attributes = document["spans"][0]["attributes"]
+        assert list(attributes) == sorted(attributes)
+
+    def test_find_and_sum(self):
+        tracer = self._sample()
+        assert [s.name for s in iter_spans(tracer)] == ["tune", "estimate"]
+        assert len(find_spans(tracer, "estimate")) == 1
+        assert sum_attribute(find_spans(tracer, "tune"),
+                             "optimizer_calls") == 7
+
+    def test_summarize_aggregates(self):
+        text = summarize(self._sample())
+        assert "tune" in text and "optimizer_calls=7" in text
+
+    def test_empty_tracer_exports(self):
+        tracer = Tracer()
+        assert render_tree(tracer) == "(no spans recorded)"
+        assert summarize(tracer) == "(no spans recorded)"
+        assert json.loads(to_json(tracer)) == {"spans": [], "events": [],
+                                               "metrics": {}}
+
+
+@pytest.fixture(scope="module")
+def movie_run():
+    tree = movie_schema()
+    doc = generate_movies(400, seed=11)
+    stats = collect_statistics(tree, doc)
+    workload = Workload.from_strings("w", [
+        "//movie/year", "//movie/avg_rating",
+        '//movie[year >= "1990"]/title', "//movie/box_office"])
+    tracer = Tracer()
+    search = GreedySearch(tree, workload, stats, tracer=tracer)
+    result = search.run()
+    return tracer, result
+
+
+class TestSearchTraceAgreesWithCounters:
+    """The trace is only auditable if it reconciles with the counters
+    the Fig. 5-9 experiments report."""
+
+    def test_result_carries_root_span(self, movie_run):
+        tracer, result = movie_run
+        assert result.trace is not None
+        assert result.trace.name == "greedy"
+        assert result.trace in tracer.spans
+
+    def test_tuner_calls_match_tune_spans(self, movie_run):
+        tracer, result = movie_run
+        successful_tunes = [s for s in find_spans(tracer, "advisor.tune")
+                            if "optimizer_calls" in s.attributes]
+        assert result.counters.tuner_calls == len(successful_tunes)
+
+    def test_optimizer_calls_match_span_totals(self, movie_run):
+        tracer, result = movie_run
+        tunes = find_spans(tracer, "advisor.tune")
+        assert result.counters.optimizer_calls == \
+            sum_attribute(tunes, "optimizer_calls")
+
+    def test_mappings_evaluated_match_evaluate_spans(self, movie_run):
+        tracer, result = movie_run
+        spans = (find_spans(tracer, "evaluate.exact")
+                 + find_spans(tracer, "evaluate.partial"))
+        assert result.counters.mappings_evaluated == len(spans)
+
+    def test_cache_hits_match_events(self, movie_run):
+        tracer, result = movie_run
+        hits = [event for span in iter_spans(tracer)
+                for event in span.events if event.name == "cache_hit"]
+        assert result.counters.cache_hits == len(hits)
+
+    def test_derived_costs_match_partial_spans(self, movie_run):
+        tracer, result = movie_run
+        partials = find_spans(tracer, "evaluate.partial")
+        assert result.counters.derived_query_costs == \
+            sum_attribute(partials, "reused")
+
+    def test_database_estimate_metric_counted(self, movie_run):
+        tracer, result = movie_run
+        estimates = tracer.metrics("database").get("estimate_calls")
+        assert estimates > 0
+        assert estimates >= result.counters.optimizer_calls
+
+    def test_disabled_search_tracing_attaches_nothing(self):
+        tree = movie_schema()
+        doc = generate_movies(200, seed=12)
+        stats = collect_statistics(tree, doc)
+        workload = Workload.from_strings("w", ["//movie/year"])
+        result = GreedySearch(tree, workload, stats).run()
+        assert result.trace is None
+
+    def test_trace_structure_is_reproducible(self):
+        tree = movie_schema()
+        doc = generate_movies(250, seed=13)
+        stats = collect_statistics(tree, doc)
+        renders = []
+        for _ in range(2):
+            workload = Workload.from_strings("w", [
+                "//movie/year", "//movie/avg_rating"])
+            tracer = Tracer()
+            GreedySearch(tree, workload, stats, tracer=tracer).run()
+            renders.append(render_tree(tracer, include_times=False))
+        assert renders[0] == renders[1]

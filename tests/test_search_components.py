@@ -71,6 +71,60 @@ class TestEvaluator:
         assert partial is not None
         assert partial.total_cost == pytest.approx(full.total_cost, rel=0.25)
 
+    def test_partial_reports_align_with_full_workload(self, dblp_bundle):
+        """Regression: partial evaluation used to return a report list
+        covering only the re-tuned queries, while every consumer
+        (``TuningResult.cost_of``, ``CostDerivation.reusable_costs``)
+        indexes reports by full-workload position."""
+        tree, stats = dblp_bundle
+        wl = Workload.from_strings("w", [
+            "/dblp/inproceedings/title", "/dblp/book/publisher",
+            "/dblp/inproceedings/author"])
+        evaluator = MappingEvaluator(wl, stats)
+        mapping = hybrid_inlining(tree)
+        full = evaluator.evaluate(mapping)
+        reuse = {1: full.tuning.reports[1].cost}
+        partial = evaluator.evaluate_partial(mapping, reuse, base=full)
+        assert partial is not None
+        # One report per workload query, aligned by position.
+        assert len(partial.tuning.reports) == len(partial.sql_queries)
+        for (query, _), report in zip(partial.sql_queries,
+                                      partial.tuning.reports):
+            assert report.query is query
+        # The reused slot carries the derived cost and the base
+        # evaluation's objects_used (needed by the repetition-split
+        # derivation rule downstream).
+        assert partial.tuning.cost_of(1) == reuse[1]
+        assert partial.tuning.reports[1].objects_used == \
+            full.tuning.reports[1].objects_used
+        # The total is consistent with the per-query reports.
+        assert partial.total_cost == pytest.approx(
+            sum(weight * report.cost
+                for (_, weight), report in zip(partial.sql_queries,
+                                               partial.tuning.reports)))
+        # Feeding the partial result back through cost derivation now
+        # reads the right query's cost for every index.
+        selected = CandidateSelector(mapping, stats).select(wl)
+        derivation = CostDerivation()
+        for transformation in (list(selected.splits)
+                               + list(selected.merges))[:3]:
+            derived = derivation.reusable_costs(transformation, partial)
+            for i, cost in derived.items():
+                assert cost == partial.tuning.cost_of(i)
+
+    def test_partial_evaluation_does_not_mutate_advisor_result(
+            self, dblp_bundle):
+        tree, stats = dblp_bundle
+        wl = Workload.from_strings("w", [
+            "/dblp/inproceedings/title", "/dblp/book/publisher"])
+        evaluator = MappingEvaluator(wl, stats)
+        mapping = hybrid_inlining(tree)
+        full = evaluator.evaluate(mapping)
+        before = full.tuning.total_cost
+        evaluator.evaluate_partial(
+            mapping, reuse={0: full.tuning.reports[0].cost}, base=full)
+        assert full.tuning.total_cost == before
+
 
 class TestCandidateSelection:
     def test_repetition_split_selected_for_author_query(self, dblp_bundle):
