@@ -23,9 +23,12 @@ See ``examples/`` for runnable end-to-end scenarios and DESIGN.md for
 the system inventory.
 """
 
+from .check import (Finding, Findings, analyze_query, check_mapping,
+                    check_plan, check_schema, check_transform,
+                    checks_enabled, lint_bundle, override_checks)
 from .engine import (Column, Database, ExecutionResult, Index,
                      JoinViewDefinition, SQLType, Table)
-from .errors import ReproError
+from .errors import CheckError, ReproError
 from .mapping import (Mapping, Shredder, UnionDistribution,
                       collect_statistics, derive_schema, derive_table_stats,
                       enumerate_transformations, fully_split,
@@ -62,10 +65,14 @@ __all__ = [
     # observability
     "Tracer", "NULL_TRACER", "set_tracer", "render_tree", "trace_to_json",
     "summarize",
+    # static analysis
+    "Finding", "Findings", "analyze_query", "check_mapping", "check_plan",
+    "check_schema", "check_transform", "checks_enabled", "lint_bundle",
+    "override_checks",
     # translation / workloads / search
     "Translator", "translate_xpath", "Workload", "WorkloadGenerator",
     "GreedySearch", "NaiveGreedySearch", "TwoStepSearch", "DesignResult",
     # errors
-    "ReproError",
+    "ReproError", "CheckError",
     "__version__",
 ]

@@ -1,0 +1,42 @@
+"""Static semantic analysis for SQL ASTs, mappings, and plans.
+
+Three analyzer passes over the artifacts the design search produces:
+
+* :func:`analyze_query` — SQL semantic analysis against a catalog,
+* :func:`check_mapping` / :func:`check_schema` / :func:`check_transform`
+  — mapping well-formedness and losslessness invariants,
+* :func:`check_plan` — optimizer-output sanitation,
+
+all reporting through the shared :class:`Findings` engine with stable
+diagnostic codes (see docs/static-analysis.md). The passes double as
+debug-mode assertions inside the engine and the search (gated by
+``REPRO_CHECK``, on by default under pytest) and as the ``repro check``
+CLI via :func:`lint_bundle`.
+"""
+
+from .bundle import BundleReport, lint_bundle
+from .findings import CODES, Finding, Findings, Severity
+from .mapping_checker import (check_mapping, check_schema, check_transform,
+                              value_coverage)
+from .plan_checker import check_plan
+from .runtime import checks_enabled, enforce, override_checks, report
+from .sql_analyzer import analyze_query
+
+__all__ = [
+    "BundleReport",
+    "CODES",
+    "Finding",
+    "Findings",
+    "Severity",
+    "analyze_query",
+    "check_mapping",
+    "check_plan",
+    "check_schema",
+    "check_transform",
+    "checks_enabled",
+    "enforce",
+    "lint_bundle",
+    "override_checks",
+    "report",
+    "value_coverage",
+]

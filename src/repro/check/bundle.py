@@ -1,0 +1,103 @@
+"""End-to-end lint of a schema + mapping + workload bundle.
+
+:func:`lint_bundle` drives all three analyzers over one design problem:
+the mapping is validated (MAP001) and its derived schema checked for
+losslessness (MAP002..MAP006); every workload query is translated
+(XLT001 on failure), semantically analyzed against the stats-only
+catalog (SQL001..SQL009), planned by the what-if optimizer, and the
+resulting plan sanitized (PLAN001..PLAN006). Findings are *collected*,
+never raised — this is the ``repro check`` CLI's engine, which decides
+the exit code from the ERROR count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import MappingError, PlanError, TranslationError
+from ..mapping import CollectedStats, Mapping, derive_schema
+from ..translate import Translator
+from ..workload import Workload
+from .findings import Findings
+from .mapping_checker import check_mapping, check_schema
+from .plan_checker import check_plan
+from .runtime import override_checks
+from .sql_analyzer import analyze_query
+
+
+@dataclass
+class BundleReport:
+    """Outcome of one bundle lint."""
+
+    findings: Findings = field(default_factory=Findings)
+    queries_checked: int = 0
+    queries_failed: int = 0
+    tables_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings.errors
+
+    def summary(self) -> str:
+        errors = len(self.findings.errors)
+        warnings = len(self.findings.warnings)
+        status = "OK" if self.ok else "FAILED"
+        return (f"{status}: {self.tables_checked} table(s), "
+                f"{self.queries_checked} quer(y/ies) checked, "
+                f"{errors} error(s), {warnings} warning(s)")
+
+
+def _prefixed(findings: Findings, prefix: str) -> Findings:
+    out = Findings()
+    for finding in findings:
+        location = f"{prefix}.{finding.location}" if finding.location \
+            else prefix
+        out.add(finding.code, finding.message, location,
+                severity=finding.severity)
+    return out
+
+
+def lint_bundle(mapping: Mapping, workload: Workload,
+                stats: CollectedStats) -> BundleReport:
+    """Lint one design bundle end-to-end; collects, never raises."""
+    from ..search.evaluator import build_stats_only_database
+
+    report = BundleReport()
+    report.findings.extend(check_mapping(mapping))
+    if report.findings.errors:
+        return report  # schema derivation would compound the damage
+    try:
+        schema = derive_schema(mapping)
+    except MappingError as exc:
+        report.findings.add("MAP001", f"schema derivation failed: {exc}",
+                            "mapping")
+        return report
+    report.findings.extend(check_schema(schema))
+    if report.findings.errors:
+        return report  # a lossy schema cannot be populated or queried
+    db = build_stats_only_database(schema, stats)
+    report.tables_checked = len(db.catalog.tables)
+    translator = Translator(schema)
+    for i, wq in enumerate(workload):
+        where = f"query[{i}]"
+        report.queries_checked += 1
+        try:
+            sql = translator.translate(wq.query)
+        except TranslationError as exc:
+            report.queries_failed += 1
+            report.findings.add(
+                "XLT001", f"cannot translate {wq.query!r}: {exc}", where)
+            continue
+        report.findings.extend(
+            _prefixed(analyze_query(sql, db.catalog), where))
+        try:
+            with override_checks(False):  # the linter is the checker here
+                planned = db.estimate(sql)
+        except PlanError as exc:
+            report.queries_failed += 1
+            report.findings.add(
+                "XLT001", f"cannot plan {wq.query!r}: {exc}", where)
+            continue
+        report.findings.extend(_prefixed(
+            check_plan(sql, planned, db.catalog, what_if=True), where))
+    return report

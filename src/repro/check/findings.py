@@ -1,0 +1,133 @@
+"""The shared findings engine for the static-analysis passes.
+
+Every analyzer (:mod:`repro.check.sql_analyzer`,
+:mod:`repro.check.mapping_checker`, :mod:`repro.check.plan_checker`)
+reports violations as :class:`Finding` values carried in a
+:class:`Findings` collection. Each finding has a stable diagnostic code
+(``SQL...`` / ``MAP...`` / ``PLAN...`` / ``XLT...``), a severity, a
+message, and a source location string; collections render as text (one
+line per finding, compiler style) or as JSON-ready dicts.
+
+See docs/static-analysis.md for the full code registry.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class Severity(enum.Enum):
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+
+#: Registry of diagnostic codes: code -> (default severity, summary).
+CODES: dict[str, tuple[Severity, str]] = {
+    # -- SQL semantic analysis -----------------------------------------
+    "SQL001": (Severity.ERROR, "FROM references an unknown table"),
+    "SQL002": (Severity.ERROR, "duplicate alias in one FROM list"),
+    "SQL003": (Severity.ERROR, "column reference does not resolve"),
+    "SQL004": (Severity.ERROR, "unqualified column is ambiguous"),
+    "SQL005": (Severity.ERROR, "comparison operands are type-incompatible"),
+    "SQL006": (Severity.ERROR, "UNION ALL branches disagree in arity or "
+                               "column types"),
+    "SQL007": (Severity.ERROR, "ORDER BY position out of range"),
+    "SQL008": (Severity.ERROR, "EXISTS subquery correlation is inconsistent"),
+    "SQL009": (Severity.WARNING, "comparison against a NULL literal is "
+                                 "always false"),
+    # -- mapping / relational-schema invariants ------------------------
+    "MAP001": (Severity.ERROR, "mapping fails structural validation"),
+    "MAP002": (Severity.ERROR, "XSD value node has no relational storage "
+                               "(lossy mapping)"),
+    "MAP003": (Severity.ERROR, "ID/PID key column missing or mistyped"),
+    "MAP004": (Severity.ERROR, "parent link references a non-existent "
+                               "table group"),
+    "MAP005": (Severity.ERROR, "partition is inconsistent with its table "
+                               "group"),
+    "MAP006": (Severity.ERROR, "leaf storage references a non-existent "
+                               "group or column"),
+    "MAP007": (Severity.ERROR, "transformation changed value-node coverage"),
+    # -- plan sanitation -----------------------------------------------
+    "PLAN001": (Severity.ERROR, "cost or cardinality estimate is not "
+                                "finite and non-negative"),
+    "PLAN002": (Severity.ERROR, "index seek references an undeclared index"),
+    "PLAN003": (Severity.ERROR, "scan references an unknown table"),
+    "PLAN004": (Severity.ERROR, "view substitution does not cover the "
+                                "replaced join"),
+    "PLAN005": (Severity.ERROR, "branch plan does not produce the columns "
+                                "its SELECT requires"),
+    "PLAN006": (Severity.ERROR, "plan branch count disagrees with the "
+                                "query's SELECT count"),
+    # -- translation (bundle lint only) --------------------------------
+    "XLT001": (Severity.ERROR, "workload query cannot be translated or "
+                               "planned under this mapping"),
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: code, severity, message, source location."""
+
+    code: str
+    severity: Severity
+    message: str
+    location: str = ""
+
+    def render(self) -> str:
+        where = f" [{self.location}]" if self.location else ""
+        return f"{self.severity.value.upper()} {self.code}{where}: " \
+               f"{self.message}"
+
+    def to_dict(self) -> dict:
+        return {"code": self.code, "severity": self.severity.value,
+                "message": self.message, "location": self.location}
+
+
+@dataclass
+class Findings:
+    """An ordered collection of findings with convenience accessors."""
+
+    items: list[Finding] = field(default_factory=list)
+
+    def add(self, code: str, message: str, location: str = "",
+            severity: Severity | None = None) -> Finding:
+        if code not in CODES:
+            raise KeyError(f"unknown diagnostic code {code!r}")
+        finding = Finding(code=code,
+                          severity=severity or CODES[code][0],
+                          message=message, location=location)
+        self.items.append(finding)
+        return finding
+
+    def extend(self, other: "Findings") -> "Findings":
+        self.items.extend(other.items)
+        return self
+
+    def __add__(self, other: "Findings") -> "Findings":
+        return Findings(self.items + other.items)
+
+    def __iter__(self) -> Iterator[Finding]:
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __bool__(self) -> bool:
+        return bool(self.items)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.items if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.items if f.severity is Severity.WARNING]
+
+    def render(self) -> str:
+        return "\n".join(f.render() for f in self.items)
+
+    def to_dicts(self) -> list[dict]:
+        return [f.to_dict() for f in self.items]

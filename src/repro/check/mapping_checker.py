@@ -1,0 +1,210 @@
+"""Invariant checks for XML-to-relational mappings and derived schemas.
+
+Three entry points:
+
+* :func:`check_mapping` — structural validity of a :class:`Mapping`
+  (annotation placement, split/distribution legality) via the model's
+  own ``validate()``, surfaced as a MAP001 finding instead of an
+  exception,
+* :func:`check_schema` — losslessness and referential integrity of a
+  derived :class:`MappedSchema`: every XSD value node stored exactly
+  once (MAP002), ID/PID key columns present with consistent types
+  (MAP003), parent links reference existing table groups and every
+  group is reachable from a root group (MAP004), partitions consistent
+  with their group (MAP005), leaf storage references existing
+  groups/columns (MAP006),
+* :func:`check_transform` — a transformation preserved total value-node
+  coverage (MAP007), compared before/after each rewrite during search.
+"""
+
+from __future__ import annotations
+
+from ..engine import SQLType
+from ..errors import MappingError
+from ..mapping.model import Mapping
+from ..mapping.relschema import ID_COLUMN, PID_COLUMN, MappedSchema
+from .findings import Findings
+
+
+def check_mapping(mapping: Mapping) -> Findings:
+    """MAP001: the mapping passes the model's structural validation."""
+    findings = Findings()
+    try:
+        mapping.validate()
+    except MappingError as exc:
+        findings.add("MAP001", str(exc), "mapping")
+    return findings
+
+
+def value_coverage(schema: MappedSchema) -> frozenset[int]:
+    """IDs of XSD value nodes that have at least one storage location."""
+    covered = set()
+    for leaf_id, storage in schema.leaf_storage.items():
+        if storage.is_inlined or storage.is_split or \
+                (storage.has_own_table and storage.value_column is not None):
+            covered.add(leaf_id)
+    return frozenset(covered)
+
+
+def check_schema(schema: MappedSchema) -> Findings:
+    """MAP002..MAP006 over a derived relational schema."""
+    findings = Findings()
+    _check_coverage(schema, findings)
+    _check_keys(schema, findings)
+    _check_parent_links(schema, findings)
+    _check_partitions(schema, findings)
+    _check_leaf_storage(schema, findings)
+    return findings
+
+
+def check_transform(before: MappedSchema, after: MappedSchema,
+                    transform: str = "") -> Findings:
+    """MAP007: the rewrite neither dropped nor invented value nodes."""
+    findings = Findings()
+    before_cov = value_coverage(before)
+    after_cov = value_coverage(after)
+    name = transform or "transformation"
+    lost = sorted(before_cov - after_cov)
+    gained = sorted(after_cov - before_cov)
+    if lost:
+        findings.add(
+            "MAP007", f"{name} lost storage for value node(s) {lost}",
+            "transform")
+    if gained:
+        findings.add(
+            "MAP007", f"{name} invented storage for value node(s) {gained} "
+                      f"that the source mapping did not cover", "transform")
+    return findings
+
+
+# ----------------------------------------------------------------------
+# check_schema passes
+# ----------------------------------------------------------------------
+def _check_coverage(schema: MappedSchema, findings: Findings) -> None:
+    tree = schema.tree
+    covered = value_coverage(schema)
+    for node in tree.iter_nodes():
+        if not tree.is_value_node(node):
+            continue
+        if node.node_id not in covered:
+            findings.add(
+                "MAP002", f"value node #{node.node_id} <{node.name}> has no "
+                          f"relational storage; the mapping is lossy",
+                f"node[{node.node_id}]")
+
+
+def _check_keys(schema: MappedSchema, findings: Findings) -> None:
+    for annotation, group in schema.groups.items():
+        by_name = {c.name: c for c in group.columns}
+        for key, nullable_ok in ((ID_COLUMN, False), (PID_COLUMN, True)):
+            spec = by_name.get(key)
+            if spec is None:
+                findings.add(
+                    "MAP003", f"table group {annotation!r} lacks the "
+                              f"{key} key column", f"group[{annotation}]")
+                continue
+            if spec.sql_type is not SQLType.INTEGER:
+                findings.add(
+                    "MAP003", f"key column {key} of group {annotation!r} "
+                              f"has type {spec.sql_type.value}, expected "
+                              f"INTEGER", f"group[{annotation}]")
+            if not nullable_ok and spec.nullable:
+                findings.add(
+                    "MAP003", f"key column {key} of group {annotation!r} "
+                              f"must not be nullable", f"group[{annotation}]")
+
+
+def _check_parent_links(schema: MappedSchema, findings: Findings) -> None:
+    groups = schema.groups
+    reachable: set[str] = set()
+    for annotation, group in groups.items():
+        parent = group.parent_annotation
+        if parent is None:
+            reachable.add(annotation)
+            continue
+        if parent not in groups:
+            findings.add(
+                "MAP004", f"group {annotation!r} links to non-existent "
+                          f"parent group {parent!r}", f"group[{annotation}]")
+    # Orphan detection: every group must reach a root group by following
+    # parent links (a disconnected group would never be joined to).
+    changed = True
+    while changed:
+        changed = False
+        for annotation, group in groups.items():
+            if annotation in reachable:
+                continue
+            if group.parent_annotation in reachable:
+                reachable.add(annotation)
+                changed = True
+    for annotation in sorted(set(groups) - reachable):
+        if groups[annotation].parent_annotation in groups:
+            findings.add(
+                "MAP004", f"group {annotation!r} is orphaned: its parent "
+                          f"chain never reaches a root group",
+                f"group[{annotation}]")
+
+
+def _check_partitions(schema: MappedSchema, findings: Findings) -> None:
+    seen_tables: dict[str, str] = {}
+    for annotation, group in schema.groups.items():
+        if not group.partitions:
+            findings.add(
+                "MAP005", f"group {annotation!r} has no partitions",
+                f"group[{annotation}]")
+            continue
+        column_names = {c.name for c in group.columns}
+        for partition in group.partitions:
+            owner = seen_tables.setdefault(partition.table_name, annotation)
+            if owner != annotation:
+                findings.add(
+                    "MAP005", f"table {partition.table_name!r} appears in "
+                              f"groups {owner!r} and {annotation!r}",
+                    f"table[{partition.table_name}]")
+            unknown = [n for n in partition.column_names
+                       if n not in column_names]
+            if unknown:
+                findings.add(
+                    "MAP005", f"partition {partition.table_name!r} lists "
+                              f"columns {unknown} absent from its group",
+                    f"table[{partition.table_name}]")
+            for key in (ID_COLUMN, PID_COLUMN):
+                if key not in partition.column_names:
+                    findings.add(
+                        "MAP005", f"partition {partition.table_name!r} "
+                                  f"lacks the {key} key column",
+                        f"table[{partition.table_name}]")
+
+
+def _check_leaf_storage(schema: MappedSchema, findings: Findings) -> None:
+    for leaf_id, storage in sorted(schema.leaf_storage.items()):
+        where = f"leaf[{leaf_id}]"
+        if storage.inline_annotation is not None:
+            group = schema.groups.get(storage.inline_annotation)
+            if group is None:
+                findings.add(
+                    "MAP006", f"leaf #{leaf_id} inlined into non-existent "
+                              f"group {storage.inline_annotation!r}", where)
+            else:
+                names = {c.name for c in group.columns}
+                for column in ((storage.column,) if storage.column
+                               else storage.split_columns):
+                    if column not in names:
+                        findings.add(
+                            "MAP006", f"leaf #{leaf_id} claims column "
+                                      f"{column!r} missing from group "
+                                      f"{group.annotation!r}", where)
+        if storage.own_annotation is not None:
+            group = schema.groups.get(storage.own_annotation)
+            if group is None:
+                findings.add(
+                    "MAP006", f"leaf #{leaf_id} claims its own table in "
+                              f"non-existent group "
+                              f"{storage.own_annotation!r}", where)
+            elif storage.value_column is not None and \
+                    storage.value_column not in {c.name
+                                                 for c in group.columns}:
+                findings.add(
+                    "MAP006", f"leaf #{leaf_id} value column "
+                              f"{storage.value_column!r} missing from group "
+                              f"{group.annotation!r}", where)

@@ -1,0 +1,164 @@
+"""Sanity checks over optimizer output (:class:`PlannedQuery`).
+
+Validates a finished plan against the query it was built for and the
+catalog it was planned over:
+
+* PLAN001 — every node's ``est_rows``/``est_cost`` (and the plan total)
+  is finite and non-negative,
+* PLAN002 — every :class:`IndexSeek` and index-backed EXISTS probe
+  references a catalog index or a declared what-if index, and only
+  built/clustered indexes outside what-if mode,
+* PLAN003 — every scan and probe targets a known table,
+* PLAN004 — a materialized-view substitution covers the FROM tables of
+  the branch it replaced,
+* PLAN005 — each branch's scans produce exactly the aliases its SELECT
+  requires,
+* PLAN006 — the plan has one branch per SELECT.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from ..engine import Index, Table
+from ..engine.plans import IndexSeek, PlanNode, SeqScan
+from ..engine.schema import Catalog
+from ..sqlast import Query
+from .findings import Findings
+
+
+def _walk(node: PlanNode) -> Iterable[PlanNode]:
+    yield node
+    for child in node.children():
+        yield from _walk(child)
+
+
+def _scans(node: PlanNode) -> list[SeqScan | IndexSeek]:
+    return [n for n in _walk(node) if isinstance(n, (SeqScan, IndexSeek))]
+
+
+class _PlanChecker:
+    def __init__(self, catalog: Catalog, extra_indexes: Iterable[Index] = (),
+                 extra_tables: Iterable[Table] = (), what_if: bool = False):
+        self.catalog = catalog
+        self.indexes = dict(catalog.indexes)
+        for index in extra_indexes:
+            self.indexes[index.name] = index
+        self.tables = dict(catalog.tables)
+        for table in extra_tables:
+            self.tables[table.name] = table
+        self.table_names = set(self.tables)
+        self.what_if = what_if
+        self.findings = Findings()
+
+    # ------------------------------------------------------------------
+    def run(self, query: Query, planned) -> Findings:
+        self._check_estimates(planned)
+        for node in _walk(planned.root):
+            self._check_node(node, "plan")
+        for k, probe in enumerate(planned.probes):
+            self._check_probe(probe, f"probe[{k}]")
+        self._check_branches(query, planned)
+        return self.findings
+
+    # ------------------------------------------------------------------
+    def _check_estimates(self, planned) -> None:
+        self._check_number(planned.est_cost, "total est_cost", "plan")
+        for node in _walk(planned.root):
+            where = node.label()
+            self._check_number(node.est_rows, "est_rows", where)
+            self._check_number(node.est_cost, "est_cost", where)
+
+    def _check_number(self, value: float, what: str, where: str) -> None:
+        if not math.isfinite(value) or value < 0:
+            self.findings.add(
+                "PLAN001", f"{what} is {value!r}; estimates must be finite "
+                           f"and non-negative", where)
+
+    # ------------------------------------------------------------------
+    def _check_node(self, node: PlanNode, where: str) -> None:
+        if isinstance(node, SeqScan):
+            self._check_table(node.table_name, node.label())
+        elif isinstance(node, IndexSeek):
+            self._check_table(node.table_name, node.label())
+            self._check_index(node.index, node.label())
+
+    def _check_probe(self, probe, where: str) -> None:
+        self._check_table(probe.table_name, where)
+        if probe.index is not None:
+            self._check_index(probe.index, where)
+
+    def _check_table(self, table_name: str, where: str) -> None:
+        if table_name not in self.table_names:
+            self.findings.add(
+                "PLAN003", f"scan of unknown table {table_name!r}", where)
+
+    def _check_index(self, index: Index, where: str) -> None:
+        declared = self.indexes.get(index.name)
+        if declared is None:
+            self.findings.add(
+                "PLAN002", f"index {index.name!r} is neither in the catalog "
+                           f"nor declared as a what-if index", where)
+            return
+        if declared.table_name != index.table_name:
+            self.findings.add(
+                "PLAN002", f"index {index.name!r} is declared on table "
+                           f"{declared.table_name!r} but the seek targets "
+                           f"{index.table_name!r}", where)
+        if not self.what_if and not (index.is_built or index.clustered):
+            self.findings.add(
+                "PLAN002", f"index {index.name!r} is hypothetical/unbuilt "
+                           f"but the plan was built for execution", where)
+
+    # ------------------------------------------------------------------
+    def _check_branches(self, query: Query, planned) -> None:
+        if len(planned.branch_plans) != len(query.selects):
+            self.findings.add(
+                "PLAN006", f"plan has {len(planned.branch_plans)} branch(es) "
+                           f"for {len(query.selects)} SELECT(s)", "plan")
+            return
+        for i, (select, branch) in enumerate(zip(query.selects,
+                                                 planned.branch_plans)):
+            scans = _scans(branch)
+            produced = {scan.alias for scan in scans}
+            required = {ref.name: ref.table for ref in select.from_tables}
+            missing = set(required) - produced
+            if not missing:
+                continue
+            view_scans = [s for s in scans if s.alias == "@view"]
+            if view_scans:
+                self._check_view_coverage(view_scans[0], required, missing,
+                                          f"branch[{i}]")
+            else:
+                self.findings.add(
+                    "PLAN005", f"branch produces aliases {sorted(produced)} "
+                               f"but its SELECT requires "
+                               f"{sorted(required)}", f"branch[{i}]")
+
+    def _check_view_coverage(self, view_scan, required: dict[str, str],
+                             missing: set[str], where: str) -> None:
+        """PLAN004: the substituted view must cover the replaced tables."""
+        view = self.tables.get(view_scan.table_name)
+        view_def = view.view_def if view is not None else None
+        if view_def is None:
+            self.findings.add(
+                "PLAN004", f"branch scans {view_scan.table_name!r} as a "
+                           f"view, but it has no view definition", where)
+            return
+        covered = {view_def.parent_table, view_def.child_table}
+        uncovered = {required[alias] for alias in missing} - covered
+        if uncovered:
+            self.findings.add(
+                "PLAN004", f"view {view_scan.table_name!r} joins {sorted(covered)} "
+                           f"but the branch also requires {sorted(uncovered)}",
+                where)
+
+
+def check_plan(query: Query, planned, catalog: Catalog,
+               extra_indexes: Iterable[Index] = (),
+               extra_tables: Iterable[Table] = (),
+               what_if: bool = False) -> Findings:
+    """Run the plan sanitizer; returns the findings."""
+    checker = _PlanChecker(catalog, extra_indexes, extra_tables, what_if)
+    return checker.run(query, planned)

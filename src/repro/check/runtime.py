@@ -1,0 +1,88 @@
+"""Gating and enforcement for the debug-mode assertions.
+
+The analyzers are wired into ``Database.explain``/``estimate``,
+``MappingEvaluator``, and the search algorithms as *debug-mode
+assertions*: they run only when :func:`checks_enabled` says so, record
+every violation through the ambient :mod:`repro.obs` tracer, and abort
+the offending operation with :class:`~repro.errors.CheckError` on any
+ERROR-severity finding — before a corrupted artifact can produce a
+wrong cost.
+
+``REPRO_CHECK`` controls the gate: ``1``/``true``/``on`` force-enables,
+``0``/``false``/``off`` force-disables. When unset, checks default to
+**on under pytest** (so the whole test suite runs instrumented) and off
+otherwise.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import sys
+from typing import Iterator
+
+from ..errors import CheckError
+from .findings import Findings, Severity
+
+_TRUTHY = {"1", "true", "yes", "on"}
+_FALSY = {"0", "false", "no", "off", ""}
+
+#: Programmatic override (tests use :func:`override_checks`).
+_override: bool | None = None
+
+
+def checks_enabled() -> bool:
+    """Whether the debug-mode static analyzers should run."""
+    if _override is not None:
+        return _override
+    value = os.environ.get("REPRO_CHECK")
+    if value is not None:
+        return value.strip().lower() not in _FALSY
+    return "PYTEST_CURRENT_TEST" in os.environ or "pytest" in sys.modules
+
+
+@contextlib.contextmanager
+def override_checks(enabled: bool | None) -> Iterator[None]:
+    """Force the gate on/off (``None`` restores env-based behaviour)."""
+    global _override
+    previous = _override
+    _override = enabled
+    try:
+        yield
+    finally:
+        _override = previous
+
+
+def report(findings: Findings, tracer, context: str = "") -> None:
+    """Record findings as tracer events and metrics (no exception)."""
+    if not findings:
+        return
+    if tracer is not None and tracer.enabled:
+        metrics = tracer.metrics("check")
+        for finding in findings:
+            tracer.event("check.violation", code=finding.code,
+                         severity=finding.severity.value,
+                         message=finding.message,
+                         location=finding.location, context=context)
+            metrics.incr(f"violations_{finding.severity.value}")
+            if finding.severity is Severity.ERROR:
+                metrics.incr(f"code_{finding.code}")
+
+
+def enforce(findings: Findings, tracer=None, context: str = "") -> Findings:
+    """Report findings; raise :class:`CheckError` on any ERROR.
+
+    Returns the findings unchanged when nothing is ERROR-severity, so
+    callers can keep collecting warnings.
+    """
+    report(findings, tracer, context)
+    errors = findings.errors
+    if errors:
+        summary = "; ".join(f.render() for f in errors[:5])
+        if len(errors) > 5:
+            summary += f"; ... {len(errors) - 5} more"
+        where = f" in {context}" if context else ""
+        raise CheckError(
+            f"static analysis found {len(errors)} error(s){where}: {summary}",
+            findings=findings)
+    return findings

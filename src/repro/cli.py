@@ -215,6 +215,52 @@ def cmd_advise(args, out=None) -> int:
     return 0
 
 
+def cmd_check(args, out=None) -> int:
+    import json
+
+    from .check import lint_bundle
+    from .workload import Workload
+
+    out = out or sys.stdout
+    if args.dataset:
+        from .experiments import DatasetBundle
+        bundle = (DatasetBundle.dblp(scale=args.scale, seed=args.seed)
+                  if args.dataset == "dblp"
+                  else DatasetBundle.movie(scale=args.scale, seed=args.seed))
+        tree, stats = bundle.tree, bundle.stats
+        workload = bundle.workload_generator(seed=args.seed).generate(
+            args.queries)
+    else:
+        tree = _load_schema(args)
+        if not args.xml:
+            raise SystemExit("provide --xml <file...> or --dataset")
+        docs = [parse_file(path) for path in args.xml]
+        for doc in docs:
+            validate(doc, tree)
+        stats = collect_statistics(tree, docs)
+        workload = (parse_workload_file(args.workload)
+                    if args.workload else Workload("empty"))
+    mapping = MAPPINGS[args.mapping](tree)
+    report = lint_bundle(mapping, workload, stats)
+    if args.json:
+        print(json.dumps({
+            "ok": report.ok,
+            "tables_checked": report.tables_checked,
+            "queries_checked": report.queries_checked,
+            "queries_failed": report.queries_failed,
+            "findings": report.findings.to_dicts(),
+        }, indent=2), file=out)
+    else:
+        if report.findings:
+            print(report.findings.render(), file=out)
+        print(report.summary(), file=out)
+    if report.findings.errors:
+        return 1
+    if args.strict and report.findings.warnings:
+        return 1
+    return 0
+
+
 def cmd_experiment(args, out=None) -> int:
     out = out or sys.stdout
     from .experiments import (DatasetBundle, TABLE1_HEADERS, characterize,
@@ -312,6 +358,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_advise.add_argument("--trace-json", metavar="FILE", default=None,
                           help="write the span trace as JSON to FILE")
     p_advise.set_defaults(func=cmd_advise)
+
+    p_check = sub.add_parser(
+        "check", help="statically lint a schema+mapping+workload bundle")
+    p_check.add_argument("--schema", help="XSD schema file")
+    p_check.add_argument("--dtd", help="DTD file (requires --root)")
+    p_check.add_argument("--root", help="root element name for --dtd")
+    p_check.add_argument("--xml", nargs="+",
+                         help="XML document file(s) for statistics")
+    _mapping_argument(p_check)
+    p_check.add_argument("--workload", default=None,
+                         help="workload file (one XPath per line)")
+    p_check.add_argument("--dataset", choices=["dblp", "movie"],
+                         default=None,
+                         help="lint a bundled synthetic dataset instead "
+                              "of --schema/--xml files")
+    p_check.add_argument("--scale", type=int, default=300,
+                         help="dataset scale for --dataset (default: 300)")
+    p_check.add_argument("--queries", type=int, default=6,
+                         help="generated workload size for --dataset")
+    p_check.add_argument("--seed", type=int, default=7,
+                         help="workload/dataset seed for --dataset")
+    p_check.add_argument("--json", action="store_true",
+                         help="emit findings as JSON")
+    p_check.add_argument("--strict", action="store_true",
+                         help="exit non-zero on warnings too")
+    p_check.set_defaults(func=cmd_check)
 
     p_exp = sub.add_parser("experiment", help="run a paper experiment")
     p_exp.add_argument("name", choices=["e0", "table1", "split-count",

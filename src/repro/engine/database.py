@@ -58,6 +58,9 @@ class Database:
         self.stats = StatisticsCatalog()
         self.tracer = tracer if tracer is not None else get_tracer()
         self._metrics = self.tracer.metrics("database")
+        # id(query) -> (query, findings); the strong query ref keeps the
+        # id stable for the lifetime of the cache entry.
+        self._analysis_cache: dict[int, tuple[Query, object]] = {}
 
     # ------------------------------------------------------------------
     # DDL
@@ -154,19 +157,58 @@ class Database:
             return parse_sql(query)
         return query
 
+    def _run_checks(self, query: Query, planned: PlannedQuery,
+                    extra_indexes: list[Index] | None,
+                    extra_tables: list[Table] | None,
+                    what_if: bool) -> None:
+        """Debug-mode assertions: SQL analysis + plan sanitation.
+
+        SQL analysis is memoized per query object — the tuning advisor
+        re-estimates the same ``Query`` values thousands of times per
+        search, and their semantics never change; the plan sanitizer
+        always runs because each call plans afresh.
+        """
+        from ..check import analyze_query, check_plan, enforce
+
+        extra = {t.name: t for t in extra_tables or ()}
+        cached = self._analysis_cache.get(id(query))
+        if cached is None or cached[0] is not query:
+            findings = analyze_query(query, self.catalog, extra)
+            self._analysis_cache[id(query)] = (query, findings)
+        else:
+            findings = cached[1]
+        findings = findings + check_plan(
+            query, planned, self.catalog,
+            extra_indexes=extra_indexes or (),
+            extra_tables=extra_tables or (), what_if=what_if)
+        enforce(findings, self.tracer, context=f"db:{self.name}")
+
     def explain(self, query: Query | str) -> PlannedQuery:
-        return Optimizer(self.catalog, self.stats, what_if=False).plan(
-            self._as_query(query))
+        from ..check.runtime import checks_enabled
+
+        query = self._as_query(query)
+        planned = Optimizer(self.catalog, self.stats,
+                            what_if=False).plan(query)
+        if checks_enabled():
+            self._run_checks(query, planned, None, None, what_if=False)
+        return planned
 
     def estimate(self, query: Query | str,
                  extra_indexes: list[Index] | None = None,
                  extra_tables: list[Table] | None = None) -> PlannedQuery:
         """Optimizer-estimated cost; supports hypothetical objects."""
+        from ..check.runtime import checks_enabled
+
         self._metrics.incr("estimate_calls")
+        query = self._as_query(query)
         optimizer = Optimizer(self.catalog, self.stats, what_if=True,
                               extra_indexes=extra_indexes,
                               extra_tables=extra_tables)
-        return optimizer.plan(self._as_query(query))
+        planned = optimizer.plan(query)
+        if checks_enabled():
+            self._run_checks(query, planned, extra_indexes, extra_tables,
+                             what_if=True)
+        return planned
 
     def execute(self, query: Query | str) -> ExecutionResult:
         """Plan with built objects only, run, and measure cost."""

@@ -88,3 +88,16 @@ class WorkloadError(ReproError):
 
 class SearchError(ReproError):
     """Design-search failure (e.g. no feasible configuration)."""
+
+
+class CheckError(ReproError):
+    """A static-analysis pass found ERROR-severity violations.
+
+    Raised by :func:`repro.check.enforce` when ``REPRO_CHECK`` is
+    enabled and an analyzer reports at least one ERROR finding; carries
+    the findings for programmatic inspection.
+    """
+
+    def __init__(self, message: str, findings=None):
+        super().__init__(message)
+        self.findings = findings

@@ -126,6 +126,16 @@ class MappingEvaluator:
             return None
         return self._cache.get(mapping.signature())
 
+    def _check_schema(self, mapping: Mapping, schema: MappedSchema) -> None:
+        """Debug-mode assertion: the derived schema is lossless and
+        well-formed (raises :class:`~repro.errors.CheckError`)."""
+        from ..check import check_schema, checks_enabled, enforce
+
+        if not checks_enabled():
+            return
+        enforce(check_schema(schema), self.tracer,
+                context=f"mapping:{mapping_digest(mapping)}")
+
     def _update_load(self, schema: MappedSchema) -> dict[str, float]:
         """Row-insert rates per table for this mapping (extension)."""
         if not self.workload.updates:
@@ -143,6 +153,7 @@ class MappingEvaluator:
         self.counters.mappings_evaluated += 1
         with self.tracer.span("evaluate.exact") as span:
             schema = derive_schema(mapping)
+            self._check_schema(mapping, schema)
             try:
                 sql_queries = self.translate_workload(schema)
             except TranslationError:
@@ -215,6 +226,7 @@ class MappingEvaluator:
         with self.tracer.span("evaluate.partial",
                               reused=len(reuse)) as span:
             schema = derive_schema(mapping)
+            self._check_schema(mapping, schema)
             try:
                 sql_queries = self.translate_workload(schema)
             except TranslationError:

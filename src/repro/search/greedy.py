@@ -268,7 +268,7 @@ class GreedySearch:
                 if self.tracer.enabled:
                     self.tracer.event("derivation", kind="cached",
                                       candidate=str(candidate))
-                return hit
+                return self._checked_transform(candidate, current, hit)
             reuse = self.derivation.reusable_costs(candidate, current)
             # Partial evaluation only pays when a meaningful share of
             # the workload carries over; otherwise it costs nearly a
@@ -278,10 +278,33 @@ class GreedySearch:
                     self.tracer.event("derivation", kind="hit",
                                       candidate=str(candidate),
                                       reused=len(reuse))
-                return evaluator.evaluate_partial(mapping, reuse,
-                                                  base=current)
+                return self._checked_transform(
+                    candidate, current,
+                    evaluator.evaluate_partial(mapping, reuse, base=current))
             if self.tracer.enabled:
                 self.tracer.event("derivation", kind="miss",
                                   candidate=str(candidate),
                                   reused=len(reuse))
-        return evaluator.evaluate(mapping)
+        return self._checked_transform(candidate, current,
+                                       evaluator.evaluate(mapping))
+
+    def _checked_transform(self, candidate: Transformation,
+                           current: EvaluatedMapping,
+                           evaluated: EvaluatedMapping | None
+                           ) -> EvaluatedMapping | None:
+        """Debug-mode assertion: the rewrite kept the mapping lossless.
+
+        Both schemas are already derived, so the coverage comparison is
+        pure set arithmetic; a violation raises
+        :class:`~repro.errors.CheckError` and aborts the search loudly
+        rather than letting a lossy mapping win on a bogus cost.
+        """
+        if evaluated is None:
+            return None
+        from ..check import check_transform, checks_enabled, enforce
+
+        if checks_enabled():
+            enforce(check_transform(current.schema, evaluated.schema,
+                                    str(candidate)),
+                    self.tracer, context=f"transform:{candidate}")
+        return evaluated

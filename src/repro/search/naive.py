@@ -60,6 +60,16 @@ class NaiveGreedySearch:
             result.trace = span
         return result
 
+    def _check_transform(self, transformation, current: EvaluatedMapping,
+                         evaluated: EvaluatedMapping) -> None:
+        """Debug-mode assertion: the rewrite kept the mapping lossless."""
+        from ..check import check_transform, checks_enabled, enforce
+
+        if checks_enabled():
+            enforce(check_transform(current.schema, evaluated.schema,
+                                    str(transformation)),
+                    self.tracer, context=f"transform:{transformation}")
+
     def _run(self) -> DesignResult:
         # Naive-Greedy does not deduplicate mappings: the cache is off.
         evaluator = MappingEvaluator(self.workload, self.collected,
@@ -90,6 +100,7 @@ class NaiveGreedySearch:
                     evaluated = evaluator.evaluate(mapping)
                     if evaluated is None:
                         continue
+                    self._check_transform(transformation, current, evaluated)
                     if evaluated.total_cost < current.total_cost and \
                             (best is None or
                              evaluated.total_cost < best[0]):

@@ -19,7 +19,7 @@ would make the split a large win.
 from __future__ import annotations
 
 from ..engine import Index
-from ..errors import SearchError, TranslationError
+from ..errors import CheckError, SearchError, TranslationError
 from ..mapping import (CollectedStats, Mapping, enumerate_transformations,
                        hybrid_inlining)
 from ..obs import NullTracer, Tracer, get_tracer
@@ -90,6 +90,7 @@ class TwoStepSearch:
                         best = (cost, str(transformation), mapping)
                 if best is None:
                     break
+                self._check_transform(best[1], current_mapping, best[2])
                 current_cost, name, current_mapping = best
                 applied.append(name)
             logical_span.set("rounds", rounds)
@@ -118,6 +119,22 @@ class TwoStepSearch:
         )
 
     # ------------------------------------------------------------------
+    def _check_transform(self, name: str, before: Mapping,
+                         after: Mapping) -> None:
+        """Debug-mode assertion: the applied rewrite stayed lossless.
+
+        Runs once per *applied* round (rounds are few), so re-deriving
+        both schemas is cheap relative to the logical costing above.
+        """
+        from ..check import check_transform, checks_enabled, enforce
+        from ..mapping import derive_schema
+
+        if not checks_enabled():
+            return
+        enforce(check_transform(derive_schema(before), derive_schema(after),
+                                name),
+                self.tracer, context=f"transform:{name}")
+
     def _logical_cost(self, mapping: Mapping) -> float | None:
         """Optimizer cost under the default physical design only."""
         from ..mapping import derive_schema
@@ -144,6 +161,8 @@ class TwoStepSearch:
         for sql, weight in translator_queries:
             try:
                 planned = db.estimate(sql, extra_indexes=default_indexes)
+            except CheckError:
+                raise  # a static-analysis violation is never "infeasible"
             except Exception:
                 return None
             self.counters.optimizer_calls += 1

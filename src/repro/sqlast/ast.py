@@ -18,6 +18,7 @@ public ``Database.execute(sql_text)`` entry point.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 from typing import Union
 
@@ -49,6 +50,19 @@ class Literal:
         if isinstance(self.value, str):
             escaped = self.value.replace("'", "''")
             return f"'{escaped}'"
+        # bool is a subclass of int: render as 1/0, never "True"/"False"
+        # (which would tokenize as identifiers). Literal(True) == Literal(1)
+        # under dataclass comparison, so the round-trip still holds.
+        if isinstance(self.value, bool):
+            return "1" if self.value else "0"
+        if isinstance(self.value, float):
+            if not math.isfinite(self.value):
+                raise ValueError(
+                    f"cannot render non-finite SQL literal {self.value!r}")
+            # repr keeps every digit, so parse_sql(str(q)) == q even for
+            # values that str() would have rendered in scientific
+            # notation the tokenizer used to reject.
+            return repr(self.value)
         return str(self.value)
 
 

@@ -18,13 +18,16 @@ from .ast import (And, BoolExpr, ColumnRef, Comparison, ComparisonOp, Exists,
 
 _TOKEN_RE = re.compile(r"""
     \s*(
-        '(?:[^']|'')*'          # string literal
-      | -?\d+\.\d+              # decimal
-      | -?\d+                   # integer
-      | [A-Za-z_][A-Za-z_0-9]*  # identifier / keyword
+        '(?:[^']|'')*'                    # string literal
+      | -?\d+(?:\.\d+)?[eE][+-]?\d+      # scientific notation
+      | -?\d+\.\d+                       # decimal
+      | -?\d+                            # integer
+      | [A-Za-z_][A-Za-z_0-9]*           # identifier / keyword
       | <> | <= | >= | != | [=<>(),.*]
     )
 """, re.VERBOSE)
+
+_EXPONENT_RE = re.compile(r"-?\d+(?:\.\d+)?[eE][+-]?\d+")
 
 _KEYWORDS = {
     "select", "from", "where", "union", "all", "order", "by", "and", "or",
@@ -162,6 +165,9 @@ class _Parser:
         if token.startswith("'"):
             self.next()
             return Literal(token[1:-1].replace("''", "'"))
+        if _EXPONENT_RE.fullmatch(token):
+            self.next()
+            return Literal(float(token))
         if re.fullmatch(r"-?\d+", token):
             self.next()
             return Literal(int(token))

@@ -1,0 +1,81 @@
+"""Satellite invariant sweep: every mapping preset and every transform
+sequence the search can emit derives a schema that passes the mapping
+invariant checker (MAP001-MAP007)."""
+
+import pytest
+
+from repro.check import check_mapping, check_schema, check_transform
+from repro.experiments import DatasetBundle
+from repro.mapping import (derive_schema, enumerate_transformations,
+                           fully_inlined, fully_split, hybrid_inlining,
+                           shared_inlining)
+from repro.xsd import parse_dtd
+
+SHOP_DTD = """
+<!ELEMENT shop (item*)>
+<!ELEMENT item (name, kind, price, label*)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT kind (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT label (#PCDATA)>
+"""
+
+PRESETS = [fully_inlined, hybrid_inlining, shared_inlining, fully_split]
+
+
+def _trees():
+    return [
+        ("shop", parse_dtd(SHOP_DTD, root="shop")),
+        ("dblp", DatasetBundle.dblp(scale=60, seed=3).tree),
+        ("movie", DatasetBundle.movie(scale=60, seed=3).tree),
+    ]
+
+
+_TREES = _trees()
+
+
+@pytest.mark.parametrize("tree_name,tree",
+                         _TREES, ids=[name for name, _ in _TREES])
+@pytest.mark.parametrize("preset", PRESETS,
+                         ids=[p.__name__ for p in PRESETS])
+def test_presets_pass_invariant_checker(preset, tree_name, tree):
+    mapping = preset(tree)
+    assert not check_mapping(mapping), check_mapping(mapping).render()
+    schema = derive_schema(mapping)
+    assert not check_schema(schema), check_schema(schema).render()
+
+
+@pytest.mark.parametrize("tree_name,tree",
+                         _TREES, ids=[name for name, _ in _TREES])
+def test_transform_sequences_preserve_invariants(tree_name, tree):
+    """BFS over the transformation space to depth 2 (capped): every
+    reachable mapping derives a valid schema, and no single rewrite
+    changes which value nodes are stored (MAP007)."""
+    frontier = [hybrid_inlining(tree)]
+    seen = {frontier[0].signature()}
+    checked = 0
+    for _depth in range(2):
+        next_frontier = []
+        for mapping in frontier:
+            before = derive_schema(mapping)
+            candidates = enumerate_transformations(
+                mapping, include_subsumed=True, default_split_count=3)
+            for transformation in candidates:
+                applied = transformation.apply(mapping)
+                if applied.signature() in seen:
+                    continue
+                seen.add(applied.signature())
+                assert not check_mapping(applied), (
+                    f"{transformation}: " + check_mapping(applied).render())
+                after = derive_schema(applied)
+                schema_findings = check_schema(after)
+                assert not schema_findings, (
+                    f"{transformation}: " + schema_findings.render())
+                drift = check_transform(before, after, str(transformation))
+                assert not drift, drift.render()
+                next_frontier.append(applied)
+                checked += 1
+                if checked >= 40:
+                    return
+        frontier = next_frontier
+    assert checked > 0

@@ -212,3 +212,64 @@ class TestExperiment:
         code, out = run_cli(["experiment", "split-count", "--scale", "200"])
         assert code == 0
         assert "suggested k" in out
+
+
+class TestCheck:
+    def test_file_mode_clean(self, files):
+        _, dtd, xml, _, workload = files
+        code, out = run_cli(["check", "--dtd", str(dtd), "--root", "shop",
+                             "--xml", str(xml),
+                             "--workload", str(workload)])
+        assert code == 0
+        assert "OK" in out
+        assert "0 error(s)" in out
+
+    def test_file_mode_requires_xml(self, files):
+        _, dtd, _, _, _ = files
+        with pytest.raises(SystemExit):
+            run_cli(["check", "--dtd", str(dtd), "--root", "shop"])
+
+    def test_dataset_mode(self):
+        code, out = run_cli(["check", "--dataset", "dblp", "--scale", "150",
+                             "--queries", "4"])
+        assert code == 0
+        assert "OK" in out
+
+    def test_dataset_mode_all_mappings(self):
+        for mapping in ("hybrid", "shared", "fully-split"):
+            code, out = run_cli(["check", "--dataset", "movie",
+                                 "--scale", "120", "--queries", "3",
+                                 "--mapping", mapping])
+            assert code == 0, out
+
+    def test_json_output(self, files):
+        import json
+
+        _, dtd, xml, _, workload = files
+        code, out = run_cli(["check", "--dtd", str(dtd), "--root", "shop",
+                             "--xml", str(xml),
+                             "--workload", str(workload), "--json"])
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["ok"] is True
+        assert payload["findings"] == []
+        assert payload["queries_checked"] >= 1
+
+    def test_errors_exit_nonzero(self, files, monkeypatch):
+        import repro.check.bundle as bundle_mod
+
+        real_derive = bundle_mod.derive_schema
+
+        def lossy_derive(mapping):
+            schema = real_derive(mapping)
+            victim = next(iter(schema.leaf_storage))
+            del schema.leaf_storage[victim]
+            return schema
+
+        monkeypatch.setattr(bundle_mod, "derive_schema", lossy_derive)
+        _, dtd, xml, _, workload = files
+        code, out = run_cli(["check", "--dtd", str(dtd), "--root", "shop",
+                             "--xml", str(xml),
+                             "--workload", str(workload)])
+        assert code == 1
+        assert "MAP002" in out

@@ -1,6 +1,7 @@
 """Property-based round-trip tests for the SQL AST: for any AST the
 renderer can produce, ``parse_sql(str(ast)) == ast``."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -16,6 +17,8 @@ _names = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True).filter(
 _columns = st.builds(ColumnRef, table=_names, column=_names)
 _literals = st.one_of(
     st.builds(Literal, st.integers(-10_000, 10_000)),
+    st.builds(Literal, st.floats(allow_nan=False, allow_infinity=False)),
+    st.builds(Literal, st.booleans()),
     st.builds(Literal, st.text(
         alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
         max_size=12)),
@@ -108,3 +111,41 @@ def test_roundtrip_rendered(query):
 def test_referenced_tables_stable_under_roundtrip(query):
     reparsed = parse_sql(str(query))
     assert reparsed.referenced_tables == query.referenced_tables
+
+
+# ----------------------------------------------------------------------
+# Regression cases found by the PR-2 renderer/parser audit
+# ----------------------------------------------------------------------
+
+def _one_literal_query(value):
+    return Query(selects=(Select(
+        items=(SelectItem(Literal(value)),),
+        from_tables=(TableRef("t", "t"),), where=None),))
+
+
+@pytest.mark.parametrize("value", [
+    # bools used to render "True"/"False" and re-parse as ColumnRefs
+    True, False,
+    # exponents used to fail tokenization ("1e+20", "1e-07")
+    1e20, 1e-7, -3.5e-12, 6.02e23,
+    # plain numerics
+    1.0, 0.1, -7, 0,
+    # string escaping: embedded quotes, operator chars, keyword look-alikes
+    "a'b", "don''t", "<>", "<= '", "NULL", "SELECT", "1995", "",
+    "O''Brien", "a\nb",
+])
+def test_literal_roundtrip_regressions(value):
+    query = _one_literal_query(value)
+    assert parse_sql(str(query)) == query
+    assert parse_sql(render(query)) == query
+
+
+def test_nonfinite_literal_rendering_raises():
+    for value in (float("inf"), float("-inf"), float("nan")):
+        with pytest.raises(ValueError):
+            str(Literal(value))
+
+
+def test_bool_literal_renders_as_number():
+    assert str(Literal(True)) == "1"
+    assert str(Literal(False)) == "0"
