@@ -1,0 +1,142 @@
+"""Serial vs. parallel candidate costing, and warm-cache reruns.
+
+Measures the two claims the evaluation engine makes
+(docs/performance.md):
+
+* a greedy search at ``jobs=4`` produces the *identical* DesignResult
+  as the serial run, in less wall-clock time on multi-core hardware
+  (the speedup assertion is gated on ``os.cpu_count() >= 4`` — on
+  fewer cores the parallel run pays pool overhead for no gain, and the
+  numbers are recorded as-is);
+* a rerun of the same search against a warm persistent cache performs
+  **zero** exact evaluations.
+
+Runs two ways:
+
+* under pytest with the other benchmarks
+  (``pytest benchmarks/bench_parallel_speedup.py``);
+* as a script — ``python benchmarks/bench_parallel_speedup.py
+  [--smoke]`` — where ``--smoke`` shrinks the dataset so CI can
+  exercise the parallel path and the cache in seconds (identity and
+  zero-evaluation checks still assert; the speedup is only recorded).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+from repro.experiments import DatasetBundle
+from repro.search import EvaluationCache, GreedySearch, mapping_digest
+
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "1200"))
+QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "10"))
+
+
+def _fingerprint(result):
+    return (mapping_digest(result.mapping), tuple(result.applied),
+            result.estimated_cost, result.configuration.describe())
+
+
+def _timed_search(bundle, workload, jobs=None, cache=None):
+    kwargs = {"jobs": jobs}
+    if cache is not None:
+        kwargs["cache"] = cache
+    search = GreedySearch(bundle.tree, workload, bundle.stats,
+                          bundle.storage_bound, **kwargs)
+    start = time.perf_counter()
+    result = search.run()
+    return result, time.perf_counter() - start
+
+
+def run_speedup(scale, queries, jobs=4, emit=print):
+    """Serial vs. ``jobs``-way greedy on DBLP (the larger dataset).
+
+    Asserts result identity; returns the measured speedup factor.
+    """
+    bundle = DatasetBundle.dblp(scale=scale)
+    workload = bundle.workload_generator(seed=41).generate(queries)
+    serial, t_serial = _timed_search(bundle, workload)
+    parallel, t_parallel = _timed_search(bundle, workload, jobs=jobs)
+    assert _fingerprint(parallel) == _fingerprint(serial), \
+        "parallel run diverged from serial"
+    speedup = t_serial / max(t_parallel, 1e-9)
+    emit(f"BENCH parallel-speedup dataset=DBLP scale={scale} "
+         f"queries={queries} cpus={os.cpu_count()} jobs={jobs} "
+         f"serial={t_serial:.2f}s parallel={t_parallel:.2f}s "
+         f"speedup={speedup:.2f}x")
+    return speedup
+
+
+def run_warm_cache(scale, queries, cache_root, emit=print):
+    """Cold-then-warm greedy against a persistent cache directory.
+
+    Asserts the warm run performs zero evaluations and returns the
+    identical result; returns (cold time, warm time).
+    """
+    bundle = DatasetBundle.dblp(scale=scale)
+    workload = bundle.workload_generator(seed=41).generate(queries)
+    cold, t_cold = _timed_search(bundle, workload,
+                                 cache=EvaluationCache(cache_root))
+    warm, t_warm = _timed_search(bundle, workload,
+                                 cache=EvaluationCache(cache_root))
+    assert warm.counters.mappings_evaluated == 0, \
+        f"warm rerun evaluated {warm.counters.mappings_evaluated} mappings"
+    assert _fingerprint(warm) == _fingerprint(cold), \
+        "warm-cache run diverged from cold"
+    emit(f"BENCH warm-cache dataset=DBLP scale={scale} queries={queries} "
+         f"cold={t_cold:.2f}s warm={t_warm:.2f}s "
+         f"warm_hits={warm.counters.persistent_cache_hits} "
+         f"entries={len(EvaluationCache(cache_root).entries())}")
+    return t_cold, t_warm
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+
+
+def test_parallel_identical_and_faster(emit):
+    speedup = run_speedup(SCALE, QUERIES, emit=emit)
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 1.5, \
+            f"expected >=1.5x speedup at 4 jobs, got {speedup:.2f}x"
+
+
+def test_warm_cache_rerun_is_free(emit, tmp_path):
+    t_cold, t_warm = run_warm_cache(SCALE, QUERIES, tmp_path, emit=emit)
+    assert t_warm < t_cold
+
+
+# ----------------------------------------------------------------------
+# Script entry point (CI smoke mode)
+# ----------------------------------------------------------------------
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small scale: exercise parallel + cache "
+                             "paths quickly; record (don't assert) the "
+                             "speedup")
+    parser.add_argument("--scale", type=int, default=None)
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--jobs", type=int, default=4)
+    args = parser.parse_args(argv)
+    scale = args.scale or (150 if args.smoke else SCALE)
+    queries = args.queries or (4 if args.smoke else QUERIES)
+    speedup = run_speedup(scale, queries, jobs=args.jobs)
+    with tempfile.TemporaryDirectory() as cache_root:
+        run_warm_cache(scale, queries, cache_root)
+    if not args.smoke and (os.cpu_count() or 1) >= 4 and speedup < 1.5:
+        raise SystemExit(
+            f"expected >=1.5x speedup at {args.jobs} jobs, "
+            f"got {speedup:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -190,13 +190,28 @@ def cmd_advise(args, out=None) -> int:
     search_cls = ALGORITHMS[args.algorithm]
     tracing = args.trace or args.trace_json
     tracer = Tracer() if tracing else NULL_TRACER
-    search = search_cls(tree, workload, stats, storage_bound=storage_bound,
-                        tracer=tracer)
+    kwargs = {"storage_bound": storage_bound, "tracer": tracer,
+              "jobs": args.jobs}
+    if args.cache_dir:
+        if args.algorithm == "naive-greedy":
+            # Naive-Greedy deliberately re-evaluates duplicates (the
+            # paper's baseline has no caching); a persistent cache
+            # would change what it measures.
+            print("note: --cache-dir is ignored for naive-greedy",
+                  file=out)
+        else:
+            from .search import EvaluationCache
+            kwargs["cache"] = EvaluationCache(args.cache_dir,
+                                              tracer=tracer)
+    search = search_cls(tree, workload, stats, **kwargs)
     result = search.run()
     print(result.describe(), file=out)
     counters = result.counters
     print(f"\nsearch: {counters.transformations_searched} transformations, "
           f"{counters.tuner_calls} tuner calls, "
+          f"{counters.cache_hits} cache hits "
+          f"({counters.cache_hits_infeasible} infeasible, "
+          f"{counters.persistent_cache_hits} warm), "
           f"{counters.wall_time:.1f}s", file=out)
     if args.trace:
         print("\ntrace:", file=out)
@@ -212,6 +227,19 @@ def cmd_advise(args, out=None) -> int:
         measured = measure_workload(db, result.sql_queries)
         print(f"measured workload cost on loaded data: {measured:.1f}",
               file=out)
+    return 0
+
+
+def cmd_cache(args, out=None) -> int:
+    out = out or sys.stdout
+    from .search import EvaluationCache
+    cache = EvaluationCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached evaluations from {cache.root}",
+              file=out)
+        return 0
+    print(cache.report(), file=out)
     return 0
 
 
@@ -357,7 +385,22 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print a per-phase span trace of the search")
     p_advise.add_argument("--trace-json", metavar="FILE", default=None,
                           help="write the span trace as JSON to FILE")
+    p_advise.add_argument("--jobs", type=int, default=None,
+                          help="parallel evaluation workers (default: "
+                               "REPRO_PARALLEL, or serial when unset)")
+    p_advise.add_argument("--cache-dir", metavar="DIR", default=None,
+                          help="persist evaluations under DIR and reuse "
+                               "them across runs")
     p_advise.set_defaults(func=cmd_advise)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent evaluation cache")
+    p_cache.add_argument("action", choices=["report", "clear"],
+                         nargs="?", default="report")
+    p_cache.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="cache directory (default: $REPRO_CACHE_DIR "
+                              "or ~/.cache/repro/evals)")
+    p_cache.set_defaults(func=cmd_cache)
 
     p_check = sub.add_parser(
         "check", help="statically lint a schema+mapping+workload bundle")

@@ -67,17 +67,25 @@ class IndexTuningAdvisor:
 
     def __init__(self, db: Database, max_rounds: int = 12,
                  min_benefit: float = 1e-6,
-                 tracer: Tracer | NullTracer | None = None):
+                 tracer: Tracer | NullTracer | None = None,
+                 cost_cache: dict | None = None):
         self.db = db
         self.max_rounds = max_rounds
         self.min_benefit = min_benefit
         self.stats = AdvisorStats()
         self.tracer = tracer if tracer is not None else get_tracer()
-        # Per-tune cost cache: (query index, signatures of the
-        # structures relevant to it) -> (cost, objects used). A
+        # What-if cost cache: (database name, rendered query, signatures
+        # of the structures relevant to it) -> (cost, objects used). A
         # candidate index on a table the query never touches cannot
         # change its plan, so most greedy-round evaluations hit here.
-        self._cost_cache: dict[tuple, tuple[float, frozenset[str]]] = {}
+        # Pass ``cost_cache`` to share the cache across advisor
+        # invocations (the search layer shares one per evaluator, so an
+        # exact re-check after a partial tune of the same mapping does
+        # not re-pay optimizer calls for unchanged query/configuration
+        # pairs); keys carry the database name, so entries never collide
+        # across the stats-only databases of different mappings.
+        self._cost_cache: dict[tuple, tuple[float, frozenset[str]]] = \
+            cost_cache if cost_cache is not None else {}
         self._optimizer_calls = 0
         self._cache_lookups = 0
         self._cache_hits = 0
@@ -97,11 +105,12 @@ class IndexTuningAdvisor:
                 parts.append(("view", definition))
         return frozenset(parts)
 
-    def _cost_cached(self, index: int, query: Query,
+    def _cost_cached(self, query_key: str, query: Query,
                      tables: frozenset[str],
                      configuration: Configuration
                      ) -> tuple[float, frozenset[str]]:
-        key = (index, self._relevant_signature(tables, configuration))
+        key = (self.db.name, query_key,
+               self._relevant_signature(tables, configuration))
         self._cache_lookups += 1
         hit = self._cost_cache.get(key)
         if hit is not None:
@@ -153,11 +162,13 @@ class IndexTuningAdvisor:
         generator = CandidateGenerator(self.db)
         candidates: list[Index | ViewCandidate] = list(extra_candidates or [])
         per_query_tables: list[frozenset[str]] = []
+        per_query_keys: list[str] = []
         for query, _ in workload:
             indexes, views = generator.for_query(query)
             candidates.extend(indexes)
             candidates.extend(views)
             per_query_tables.append(query.referenced_tables)
+            per_query_keys.append(str(query))
 
         data_bytes = self.db.catalog.total_data_bytes()
         budget = None
@@ -168,13 +179,12 @@ class IndexTuningAdvisor:
                     f"storage bound {storage_bound} is below the data size "
                     f"{data_bytes}")
 
-        self._cost_cache.clear()
         self._optimizer_calls = 0
         chosen = Configuration()
         current_costs: list[float] = []
         for i, (query, _) in enumerate(workload):
-            cost, _ = self._cost_cached(i, query, per_query_tables[i],
-                                        chosen)
+            cost, _ = self._cost_cached(per_query_keys[i], query,
+                                        per_query_tables[i], chosen)
             current_costs.append(cost)
 
         update_load = update_load or {}
@@ -186,8 +196,15 @@ class IndexTuningAdvisor:
         # candidate every round.
         import heapq
 
-        def evaluate(candidate, base_costs):
-            size = self._candidate_size(candidate)
+        # Candidate sizes never change during selection, so each is
+        # computed exactly once (size estimation walks the table's
+        # column widths); the accepted configuration's size is tracked
+        # as a running sum — re-deriving ``chosen.size_bytes`` on every
+        # heap pop made selection quadratic in configuration size.
+        sizes: dict[int, int] = {}
+        chosen_size = 0
+
+        def evaluate(candidate, base_costs, size):
             trial = chosen.extended(candidate)
             affected_table = self._candidate_table(candidate)
             new_costs = list(base_costs)
@@ -196,7 +213,7 @@ class IndexTuningAdvisor:
                 if affected_table is not None and \
                         affected_table not in per_query_tables[i]:
                     continue
-                cost, _ = self._cost_cached(i, query,
+                cost, _ = self._cost_cached(per_query_keys[i], query,
                                             per_query_tables[i], trial)
                 benefit += weight * (base_costs[i] - cost)
                 new_costs[i] = cost
@@ -204,10 +221,11 @@ class IndexTuningAdvisor:
 
         heap: list = []
         for order, candidate in enumerate(candidates):
-            size = self._candidate_size(candidate)
+            size = sizes[order] = self._candidate_size(candidate)
             if budget is not None and size > budget:
                 continue
-            score, benefit, new_costs, _ = evaluate(candidate, current_costs)
+            score, benefit, new_costs, _ = evaluate(candidate, current_costs,
+                                                    size)
             if benefit <= self.min_benefit:
                 continue
             heapq.heappush(heap, (-score, 0, order, candidate, new_costs))
@@ -216,21 +234,21 @@ class IndexTuningAdvisor:
         while heap and rounds < self.max_rounds:
             neg_score, generation, order, candidate, new_costs = \
                 heapq.heappop(heap)
-            size = self._candidate_size(candidate)
-            if budget is not None and \
-                    chosen.size_bytes(self.db) + size > budget:
+            size = sizes[order]
+            if budget is not None and chosen_size + size > budget:
                 continue
             if generation != rounds:
                 # Stale score: re-evaluate against the current config.
                 self._heap_reevaluations += 1
                 score, benefit, new_costs, _ = evaluate(candidate,
-                                                        current_costs)
+                                                        current_costs, size)
                 if benefit <= self.min_benefit:
                     continue
                 heapq.heappush(heap, (-score, rounds, order, candidate,
                                       new_costs))
                 continue
             chosen = chosen.extended(candidate)
+            chosen_size += size
             current_costs = new_costs
             rounds += 1
             # Scores in the heap are now stale relative to `rounds`.
@@ -238,8 +256,8 @@ class IndexTuningAdvisor:
         reports: list[QueryReport] = []
         total = 0.0
         for i, (query, weight) in enumerate(workload):
-            cost, objects = self._cost_cached(i, query, per_query_tables[i],
-                                              chosen)
+            cost, objects = self._cost_cached(per_query_keys[i], query,
+                                              per_query_tables[i], chosen)
             reports.append(QueryReport(query=query, weight=weight,
                                        cost=cost, objects_used=objects))
             total += weight * cost

@@ -1,5 +1,7 @@
 """Search algorithms over the combined logical+physical design space."""
 
+from .cache import (CacheKey, EvaluationCache, default_cache_dir,
+                    problem_digest, stats_digest, workload_digest)
 from .candidate_merging import CandidateMerger
 from .candidate_selection import (CandidateSelector, CandidateSet,
                                   apply_splits)
@@ -8,11 +10,21 @@ from .evaluator import (EvaluatedMapping, MappingEvaluator,
                         build_stats_only_database, mapping_digest)
 from .greedy import GreedySearch
 from .naive import NaiveGreedySearch
+from .parallel import EvaluationPool, parallel_backend, resolve_jobs
 from .result import DesignResult, SearchCounters, Stopwatch
 from .twostep import TwoStepSearch
 from .updates import update_load_for
 
 __all__ = [
+    "CacheKey",
+    "EvaluationCache",
+    "EvaluationPool",
+    "default_cache_dir",
+    "problem_digest",
+    "stats_digest",
+    "workload_digest",
+    "parallel_backend",
+    "resolve_jobs",
     "GreedySearch",
     "NaiveGreedySearch",
     "TwoStepSearch",

@@ -1,4 +1,4 @@
-"""Shared machinery: evaluate the cost of one mapping.
+"""Shared machinery: evaluate the cost of one (or many) mappings.
 
 Evaluating a mapping (paper Fig. 2's loop body) means:
 
@@ -10,8 +10,25 @@ Evaluating a mapping (paper Fig. 2's loop body) means:
    recommended configuration, per-query estimated costs, and the object
    sets ``I(Q, M)``.
 
-Evaluations are memoized by mapping signature — this implements the
-paper's "carefully avoids searching duplicated mappings".
+Evaluations are memoized at three layers:
+
+* **in-memory memo** per evaluator, keyed by mapping signature — this
+  implements the paper's "carefully avoids searching duplicated
+  mappings" (*cold* cache hits);
+* **persistent store** (:class:`repro.search.cache.EvaluationCache`,
+  optional) keyed by ``(mapping digest, workload digest, stats digest,
+  storage bound)`` — repeated runs of the same problem skip re-costing
+  entirely (*warm* hits);
+* the advisor's **what-if cost cache** is shared across all advisor
+  invocations of one evaluator, so a partial evaluation followed by an
+  exact re-check of the same mapping does not re-pay optimizer calls
+  for unchanged (query, configuration) pairs.
+
+Independent candidates are costed concurrently by
+:meth:`MappingEvaluator.evaluate_many` /
+:meth:`~MappingEvaluator.evaluate_partial_many` — see
+``repro.search.parallel`` and docs/performance.md. The serial and
+parallel paths produce identical results by construction.
 """
 
 from __future__ import annotations
@@ -23,11 +40,14 @@ from ..engine import Database
 from ..errors import SearchError, TranslationError
 from ..mapping import (CollectedStats, MappedSchema, Mapping, derive_schema,
                        derive_table_stats)
-from ..obs import NULL_TRACER, NullTracer, Tracer, get_tracer
+from ..obs import NullTracer, Tracer, get_tracer
 from ..physdesign import IndexTuningAdvisor, QueryReport, TuningResult
 from ..sqlast import Query
 from ..translate import Translator
 from ..workload import Workload
+from .cache import CacheKey, EvaluationCache, problem_digest
+from .parallel import (EvaluationPool, WorkerOutput, graft_spans,
+                       merge_metrics, resolve_jobs)
 from .result import SearchCounters
 
 
@@ -87,6 +107,16 @@ def build_stats_only_database(schema: MappedSchema,
     return db
 
 
+class _Deferred:
+    """Placeholder for a batch slot resolved after computation."""
+
+    __slots__ = ("kind", "key")
+
+    def __init__(self, kind: str, key: tuple):
+        self.kind = kind
+        self.key = key
+
+
 class MappingEvaluator:
     """Costs mappings for one (tree, workload, stats, bound) problem."""
 
@@ -94,7 +124,9 @@ class MappingEvaluator:
                  storage_bound: int | None = None,
                  use_cache: bool = True,
                  counters: SearchCounters | None = None,
-                 tracer: Tracer | NullTracer | None = None):
+                 tracer: Tracer | NullTracer | None = None,
+                 jobs: int | None = None,
+                 cache: EvaluationCache | None = None):
         self.workload = workload
         self.collected = collected
         self.storage_bound = storage_bound
@@ -102,23 +134,77 @@ class MappingEvaluator:
         self.counters = counters or SearchCounters()
         self.tracer = tracer if tracer is not None else get_tracer()
         self._metrics = self.tracer.metrics("evaluator")
+        self.jobs = resolve_jobs(jobs)
+        self.cache = cache
         self._cache: dict[tuple, EvaluatedMapping | None] = {}
         self._partial_cache: dict[tuple, EvaluatedMapping | None] = {}
+        # What-if cost cache shared across every advisor invocation of
+        # this evaluator (keys carry the what-if database name, which is
+        # derived from the mapping digest, so entries never collide
+        # across mappings).
+        self._advisor_cost_cache: dict = {}
+        self._pool: EvaluationPool | None = None
+        self._problem: str | None = None
 
+    # ------------------------------------------------------------------
+    # Lifecycle / plumbing
+    # ------------------------------------------------------------------
+    def rebind_tracer(self, tracer: Tracer | NullTracer) -> None:
+        """Point instrumentation at another tracer (pool workers reuse
+        one evaluator across tasks, each with a fresh tracer)."""
+        self.tracer = tracer
+        self._metrics = tracer.metrics("evaluator")
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one was started."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+
+    def __enter__(self) -> "MappingEvaluator":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def _ensure_pool(self) -> EvaluationPool:
+        if self._pool is None:
+            self._pool = EvaluationPool(
+                self.workload, self.collected, self.storage_bound,
+                jobs=self.jobs, tracing=bool(self.tracer.enabled))
+        return self._pool
+
+    def _problem_digest(self) -> str:
+        if self._problem is None:
+            self._problem = problem_digest(self.workload, self.collected,
+                                           self.storage_bound)
+        return self._problem
+
+    # ------------------------------------------------------------------
+    # Single-mapping API
     # ------------------------------------------------------------------
     def evaluate(self, mapping: Mapping) -> EvaluatedMapping | None:
         """Cost a mapping; ``None`` when the workload cannot be
         translated under it (infeasible mapping)."""
-        key = mapping.signature()
-        if self.use_cache and key in self._cache:
-            self.counters.cache_hits += 1
-            self._metrics.incr("cache_hits_exact")
-            self.tracer.event("cache_hit", kind="exact")
-            return self._cache[key]
-        result = self._evaluate_uncached(mapping)
-        if self.use_cache:
-            self._cache[key] = result
-        return result
+        return self._evaluate_batch([("exact", mapping, None, None)])[0]
+
+    def evaluate_partial(self, mapping: Mapping,
+                         reuse: dict[int, float],
+                         base: EvaluatedMapping | None = None
+                         ) -> EvaluatedMapping | None:
+        """Cost a mapping, reusing known per-query costs (Section 4.8).
+
+        ``reuse`` maps workload indices to already-known costs; only the
+        remaining queries are passed to the physical design tool, which
+        is what makes cost derivation cheaper. ``base`` is the
+        evaluation the reused costs came from — its per-query reports
+        supply the carried-over ``objects_used`` so the synthesized
+        full-workload reports stay usable by a later derivation pass.
+        """
+        carried = self._carried_objects(reuse, base)
+        return self._evaluate_batch(
+            [("partial", mapping, dict(reuse), carried)])[0]
 
     def cached(self, mapping: Mapping) -> EvaluatedMapping | None:
         """An already-computed exact evaluation, if any (no work done)."""
@@ -126,6 +212,174 @@ class MappingEvaluator:
             return None
         return self._cache.get(mapping.signature())
 
+    # ------------------------------------------------------------------
+    # Batch API (the parallel fan-out)
+    # ------------------------------------------------------------------
+    def evaluate_many(self, mappings: list[Mapping]
+                      ) -> list[EvaluatedMapping | None]:
+        """Cost several independent mappings as one batch.
+
+        Results align with the input list. Cache lookups (memory and
+        persistent) happen up front; only genuinely new mappings are
+        evaluated — concurrently when ``jobs > 1``.
+        """
+        return self._evaluate_batch(
+            [("exact", mapping, None, None) for mapping in mappings])
+
+    def evaluate_partial_many(
+            self, items: list[tuple[Mapping, dict[int, float],
+                                    EvaluatedMapping | None]]
+            ) -> list[EvaluatedMapping | None]:
+        """Batch form of :meth:`evaluate_partial`."""
+        return self._evaluate_batch(
+            [("partial", mapping, dict(reuse),
+              self._carried_objects(reuse, base))
+             for mapping, reuse, base in items])
+
+    def _evaluate_batch(self, tasks: list[tuple]
+                        ) -> list[EvaluatedMapping | None]:
+        results: list = [None] * len(tasks)
+        pending: list[tuple[int, tuple]] = []
+        first_position: set[tuple] = set()
+        for position, task in enumerate(tasks):
+            kind, mapping, reuse, carried = task
+            if not self.use_cache:
+                pending.append((position, task))
+                continue
+            key = self._memory_key(kind, mapping, reuse, carried)
+            store = self._store(kind)
+            if key in store:
+                results[position] = self._record_memory_hit(kind, store[key])
+                continue
+            found, value = self._persistent_get(kind, mapping, reuse, carried)
+            if found:
+                store[key] = value
+                results[position] = value
+                continue
+            if key in first_position:
+                # A duplicate inside the batch: costed once, counted as
+                # a cache hit — exactly what serial iteration does.
+                results[position] = _Deferred(kind, key)
+                continue
+            first_position.add(key)
+            pending.append((position, task))
+        if pending:
+            self._compute(pending, results)
+        for position, value in enumerate(results):
+            if isinstance(value, _Deferred):
+                results[position] = self._record_memory_hit(
+                    value.kind, self._store(value.kind)[value.key])
+        return results
+
+    def _compute(self, pending: list[tuple[int, tuple]],
+                 results: list) -> None:
+        if self.jobs > 1 and len(pending) > 1:
+            outputs = self._ensure_pool().run(
+                [task for _, task in pending])
+            for (position, task), output in zip(pending, outputs):
+                self._absorb(output)
+                results[position] = self._finish(task, output.result)
+            return
+        for position, task in pending:
+            kind, mapping, reuse, carried = task
+            if kind == "partial":
+                value = self._evaluate_partial_uncached(mapping, reuse,
+                                                        carried)
+            else:
+                value = self._evaluate_uncached(mapping)
+            results[position] = self._finish(task, value)
+
+    def _finish(self, task: tuple,
+                value: EvaluatedMapping | None) -> EvaluatedMapping | None:
+        """Store a freshly computed result in both cache layers."""
+        kind, mapping, reuse, carried = task
+        if self.use_cache:
+            key = self._memory_key(kind, mapping, reuse, carried)
+            self._store(kind)[key] = value
+            self._persistent_put(kind, mapping, reuse, carried, value)
+        return value
+
+    def _absorb(self, output: WorkerOutput) -> None:
+        """Fold a worker's counters, metrics, and spans into this run."""
+        for name, delta in output.counters.items():
+            setattr(self.counters, name, getattr(self.counters, name) + delta)
+        if not self.tracer.enabled:
+            return
+        merge_metrics(self.tracer, output.metrics)
+        graft_spans(self.tracer, output.spans)
+
+    # ------------------------------------------------------------------
+    # Cache layers
+    # ------------------------------------------------------------------
+    def _store(self, kind: str) -> dict:
+        return self._partial_cache if kind == "partial" else self._cache
+
+    def _memory_key(self, kind: str, mapping: Mapping,
+                    reuse: dict[int, float] | None,
+                    carried: dict[int, frozenset] | None) -> tuple:
+        if kind == "partial":
+            return (mapping.signature(),
+                    frozenset((i, round(cost, 6))
+                              for i, cost in (reuse or {}).items()),
+                    frozenset((carried or {}).items()))
+        return mapping.signature()
+
+    def _record_memory_hit(self, kind: str,
+                           value: EvaluatedMapping | None
+                           ) -> EvaluatedMapping | None:
+        # Feasible and infeasible lookups are counted apart: a cached
+        # ``None`` never saved an advisor call, and folding it into the
+        # hit rate used to overstate how much the memo was winning.
+        if value is None:
+            self.counters.cache_hits_infeasible += 1
+            self._metrics.incr(f"cache_hits_{kind}_infeasible")
+            self.tracer.event("cache_hit_infeasible", kind=kind)
+        else:
+            self.counters.cache_hits += 1
+            self._metrics.incr(f"cache_hits_{kind}")
+            self.tracer.event("cache_hit", kind=kind)
+        return value
+
+    def _persistent_key(self, kind: str, mapping: Mapping,
+                        reuse: dict[int, float] | None,
+                        carried: dict[int, frozenset] | None) -> CacheKey:
+        extra = ""
+        if kind == "partial":
+            parts = [f"{i}:{cost!r}" for i, cost
+                     in sorted((reuse or {}).items())]
+            parts += [f"{i}:{','.join(sorted(objects))}"
+                      for i, objects in sorted((carried or {}).items())]
+            extra = _digest("|".join(parts))
+        return CacheKey(problem=self._problem_digest(),
+                        mapping=mapping_digest(mapping),
+                        kind=kind, extra=extra)
+
+    def _persistent_get(self, kind: str, mapping: Mapping,
+                        reuse: dict[int, float] | None,
+                        carried: dict[int, frozenset] | None
+                        ) -> tuple[bool, EvaluatedMapping | None]:
+        if self.cache is None:
+            return False, None
+        found, value = self.cache.get(
+            self._persistent_key(kind, mapping, reuse, carried))
+        if found:
+            self.counters.persistent_cache_hits += 1
+            self._metrics.incr(f"persistent_hits_{kind}")
+            self.tracer.event("cache_hit_persistent", kind=kind)
+        return found, value  # type: ignore[return-value]
+
+    def _persistent_put(self, kind: str, mapping: Mapping,
+                        reuse: dict[int, float] | None,
+                        carried: dict[int, frozenset] | None,
+                        value: EvaluatedMapping | None) -> None:
+        if self.cache is None:
+            return
+        self.cache.put(self._persistent_key(kind, mapping, reuse, carried),
+                       value)
+
+    # ------------------------------------------------------------------
+    # Evaluation proper
+    # ------------------------------------------------------------------
     def _check_schema(self, mapping: Mapping, schema: MappedSchema) -> None:
         """Debug-mode assertion: the derived schema is lossless and
         well-formed (raises :class:`~repro.errors.CheckError`)."""
@@ -149,6 +403,10 @@ class MappingEvaluator:
         return [(translator.translate(wq.query), wq.weight)
                 for wq in self.workload]
 
+    def _make_advisor(self, db: Database) -> IndexTuningAdvisor:
+        return IndexTuningAdvisor(db, tracer=self.tracer,
+                                  cost_cache=self._advisor_cost_cache)
+
     def _evaluate_uncached(self, mapping: Mapping) -> EvaluatedMapping | None:
         self.counters.mappings_evaluated += 1
         with self.tracer.span("evaluate.exact") as span:
@@ -164,7 +422,7 @@ class MappingEvaluator:
                 schema, self.collected,
                 name=f"whatif:{mapping_digest(mapping)}",
                 tracer=self.tracer)
-            advisor = IndexTuningAdvisor(db, tracer=self.tracer)
+            advisor = self._make_advisor(db)
             try:
                 tuning = advisor.tune(sql_queries, self.storage_bound,
                                       update_load=self._update_load(schema))
@@ -182,46 +440,21 @@ class MappingEvaluator:
                                     tuning=tuning)
 
     # ------------------------------------------------------------------
-    def evaluate_partial(self, mapping: Mapping,
-                         reuse: dict[int, float],
-                         base: EvaluatedMapping | None = None
-                         ) -> EvaluatedMapping | None:
-        """Cost a mapping, reusing known per-query costs (Section 4.8).
-
-        ``reuse`` maps workload indices to already-known costs; only the
-        remaining queries are passed to the physical design tool, which
-        is what makes cost derivation cheaper. ``base`` is the
-        evaluation the reused costs came from — its per-query reports
-        supply the carried-over ``objects_used`` so the synthesized
-        full-workload reports stay usable by a later derivation pass.
-        """
-        key = (mapping.signature(),
-               frozenset((i, round(cost, 6)) for i, cost in reuse.items()),
-               frozenset((i, report.objects_used) for i, report
-                         in self._reused_reports(reuse, base).items()))
-        if self.use_cache and key in self._partial_cache:
-            self.counters.cache_hits += 1
-            self._metrics.incr("cache_hits_partial")
-            self.tracer.event("cache_hit", kind="partial")
-            return self._partial_cache[key]
-        result = self._evaluate_partial_uncached(mapping, reuse, base)
-        if self.use_cache:
-            self._partial_cache[key] = result
-        return result
-
     @staticmethod
-    def _reused_reports(reuse: dict[int, float],
-                        base: EvaluatedMapping | None
-                        ) -> dict[int, QueryReport]:
+    def _carried_objects(reuse: dict[int, float],
+                         base: EvaluatedMapping | None
+                         ) -> dict[int, frozenset]:
+        """Object sets the reused costs were derived with, by index."""
         if base is None:
             return {}
-        return {i: base.tuning.reports[i] for i in reuse
+        return {i: base.tuning.reports[i].objects_used for i in reuse
                 if i < len(base.tuning.reports)}
 
     def _evaluate_partial_uncached(self, mapping: Mapping,
                                    reuse: dict[int, float],
-                                   base: EvaluatedMapping | None = None
+                                   carried: dict[int, frozenset] | None
                                    ) -> EvaluatedMapping | None:
+        carried = carried or {}
         self.counters.mappings_evaluated += 1
         with self.tracer.span("evaluate.partial",
                               reused=len(reuse)) as span:
@@ -240,7 +473,7 @@ class MappingEvaluator:
             remaining = [(q, w) for i, (q, w) in enumerate(sql_queries)
                          if i not in reuse]
             span.set("remaining", len(remaining))
-            advisor = IndexTuningAdvisor(db, tracer=self.tracer)
+            advisor = self._make_advisor(db)
             try:
                 tuning = advisor.tune(remaining, self.storage_bound,
                                       update_load=self._update_load(schema))
@@ -251,7 +484,7 @@ class MappingEvaluator:
             self.counters.tuner_calls += 1
             self.counters.optimizer_calls += tuning.optimizer_calls
             self.counters.derived_query_costs += len(reuse)
-            full = self._align_partial(tuning, sql_queries, reuse, base)
+            full = self._align_partial(tuning, sql_queries, reuse, carried)
             span.set("outcome", "ok")
             span.set("total_cost", full.total_cost)
             span.set("database", db.name)
@@ -262,7 +495,7 @@ class MappingEvaluator:
     def _align_partial(self, tuning: TuningResult,
                        sql_queries: list[tuple[Query, float]],
                        reuse: dict[int, float],
-                       base: EvaluatedMapping | None) -> TuningResult:
+                       carried: dict[int, frozenset]) -> TuningResult:
         """Rebuild a partial tuning result on full-workload positions.
 
         The advisor only saw the non-reused queries, so its ``reports``
@@ -274,17 +507,14 @@ class MappingEvaluator:
         a synthesized report carrying their derived cost and the object
         set of the evaluation they were derived from.
         """
-        prior = self._reused_reports(reuse, base)
         remaining_reports = iter(tuning.reports)
         reports: list[QueryReport] = []
         reused_cost = 0.0
         for i, (query, weight) in enumerate(sql_queries):
             if i in reuse:
-                carried = prior.get(i)
                 reports.append(QueryReport(
                     query=query, weight=weight, cost=reuse[i],
-                    objects_used=(carried.objects_used if carried is not None
-                                  else frozenset())))
+                    objects_used=carried.get(i, frozenset())))
                 reused_cost += weight * reuse[i]
             else:
                 reports.append(next(remaining_reports))
@@ -295,3 +525,4 @@ class MappingEvaluator:
             optimizer_calls=tuning.optimizer_calls,
             candidates_considered=tuning.candidates_considered,
         )
+

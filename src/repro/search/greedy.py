@@ -29,6 +29,7 @@ from ..mapping import (CollectedStats, Mapping, RepetitionMerge,
 from ..obs import NullTracer, Tracer, get_tracer
 from ..workload import Workload
 from ..xsd import SchemaTree
+from .cache import EvaluationCache
 from .candidate_merging import CandidateMerger
 from .candidate_selection import CandidateSelector, CandidateSet, apply_splits
 from .cost_derivation import CostDerivation
@@ -49,7 +50,9 @@ class GreedySearch:
                  use_cost_derivation: bool = True,
                  cmax: int = 5, coverage: float = 0.80,
                  max_rounds: int = 25,
-                 tracer: Tracer | NullTracer | None = None):
+                 tracer: Tracer | NullTracer | None = None,
+                 jobs: int | None = None,
+                 cache: EvaluationCache | None = None):
         if merging not in ("greedy", "none", "exhaustive"):
             raise ValueError(f"unknown merging mode {merging!r}")
         self.tree = tree
@@ -65,6 +68,8 @@ class GreedySearch:
         self.coverage = coverage
         self.max_rounds = max_rounds
         self.tracer = tracer if tracer is not None else get_tracer()
+        self.jobs = jobs
+        self.cache = cache
         self.counters = SearchCounters()
 
     # ------------------------------------------------------------------
@@ -84,7 +89,15 @@ class GreedySearch:
         evaluator = MappingEvaluator(self.workload, self.collected,
                                      self.storage_bound,
                                      counters=self.counters,
-                                     tracer=self.tracer)
+                                     tracer=self.tracer,
+                                     jobs=self.jobs,
+                                     cache=self.cache)
+        try:
+            return self._run_with(evaluator)
+        finally:
+            evaluator.close()
+
+    def _run_with(self, evaluator: MappingEvaluator) -> DesignResult:
         with self.tracer.span("select_candidates") as span:
             candidates = self._select_candidates()
             span.set("splits", len(candidates.splits))
@@ -114,16 +127,25 @@ class GreedySearch:
         applied_log = [str(t) for t in applied_splits]
         rounds = 0
         exact_rescue_used = False
+        # Candidates whose round win was overturned by the exact
+        # re-check *against the current mapping*. Their derived costs
+        # were only stale relative to this state, so they stay in the
+        # pool and become eligible again as soon as the mapping changes
+        # (dropping them permanently used to lose later-round wins).
+        rejected_here: list[Transformation] = []
         while rounds < self.max_rounds:
             rounds += 1
             with self.tracer.span("round", index=rounds,
                                   pool=len(pool)) as round_span:
+                eligible = [c for c in pool
+                            if not any(c is r for r in rejected_here)]
+                if rejected_here:
+                    round_span.set("held_back", len(rejected_here))
                 best: tuple[float, Transformation,
                             EvaluatedMapping] | None = None
                 scored: list[tuple[float, Transformation]] = []
-                for candidate in pool:
-                    evaluated = self._cost_candidate(candidate, current,
-                                                     evaluator)
+                costed = self._cost_candidates(eligible, current, evaluator)
+                for candidate, evaluated in zip(eligible, costed):
                     if evaluated is None:
                         continue
                     scored.append((evaluated.total_cost, candidate))
@@ -142,9 +164,10 @@ class GreedySearch:
                     exact_rescue_used = True
                     round_span.set("exact_rescue", True)
                     scored.sort(key=lambda pair: pair[0])
-                    for _, candidate in scored[:3]:
-                        evaluated = self._cost_candidate(
-                            candidate, current, evaluator, exact=True)
+                    rescue = [candidate for _, candidate in scored[:3]]
+                    for candidate, evaluated in zip(
+                            rescue, self._cost_candidates(
+                                rescue, current, evaluator, exact=True)):
                         if evaluated is None:
                             continue
                         if evaluated.total_cost < current.total_cost and \
@@ -160,17 +183,18 @@ class GreedySearch:
                     # Re-estimate the round winner without derivation
                     # (Fig. 3 line 18 / Section 4.8 closing remark).
                     with self.tracer.span("recheck_winner"):
-                        exact = evaluator.evaluate(evaluated.mapping)
+                        exact = self._recheck_winner(evaluator, evaluated)
                     if exact is None or \
                             exact.total_cost >= current.total_cost:
                         round_span.set("improved", False)
                         round_span.set("winner_rejected", str(winner))
-                        pool = [c for c in pool if c is not winner]
+                        rejected_here.append(winner)
                         continue
                     evaluated = exact
                 current = evaluated
                 applied_log.append(str(winner))
                 pool = [c for c in pool if c is not winner]
+                rejected_here = []
                 round_span.set("improved", True)
                 round_span.set("winner", str(winner))
                 round_span.set("cost", evaluated.total_cost)
@@ -251,42 +275,78 @@ class GreedySearch:
             return TypeMerge(tuple(sharers), old)
         return None
 
-    def _cost_candidate(self, candidate: Transformation,
-                        current: EvaluatedMapping,
-                        evaluator: MappingEvaluator,
-                        exact: bool = False) -> EvaluatedMapping | None:
-        self.counters.transformations_searched += 1
-        try:
-            mapping = candidate.validate_applied(current.mapping)
-        except Exception:
-            return None
-        if mapping.signature() == current.mapping.signature():
-            return None
-        if self.derivation.enabled and not exact:
-            hit = evaluator.cached(mapping)
-            if hit is not None:
+    def _recheck_winner(self, evaluator: MappingEvaluator,
+                        evaluated: EvaluatedMapping
+                        ) -> EvaluatedMapping | None:
+        """Exact re-cost of the round winner (Fig. 3 line 18)."""
+        return evaluator.evaluate(evaluated.mapping)
+
+    def _cost_candidates(self, candidates: list[Transformation],
+                         current: EvaluatedMapping,
+                         evaluator: MappingEvaluator,
+                         exact: bool = False
+                         ) -> list[EvaluatedMapping | None]:
+        """Cost one round's candidates against ``current``, as a batch.
+
+        The derivation decisions (cached hit / partial / exact) are made
+        up front per candidate; the resulting exact and partial work
+        lists then go through the evaluator's batch API, which fans out
+        to the worker pool when ``jobs > 1``. Results align with the
+        input list.
+        """
+        results: list[EvaluatedMapping | None] = [None] * len(candidates)
+        exact_items: list[tuple[int, Transformation, Mapping]] = []
+        partial_items: list[tuple[int, Transformation, Mapping, dict]] = []
+        for index, candidate in enumerate(candidates):
+            self.counters.transformations_searched += 1
+            try:
+                mapping = candidate.validate_applied(current.mapping)
+            except Exception:
+                continue
+            if mapping.signature() == current.mapping.signature():
+                continue
+            if self.derivation.enabled and not exact:
+                hit = evaluator.cached(mapping)
+                if hit is not None:
+                    if self.tracer.enabled:
+                        self.tracer.event("derivation", kind="cached",
+                                          candidate=str(candidate))
+                    results[index] = self._checked_transform(
+                        candidate, current, hit)
+                    continue
+                reuse = self.derivation.reusable_costs(candidate, current)
+                # Partial evaluation only pays when a meaningful share
+                # of the workload carries over; otherwise it costs
+                # nearly a full advisor call *plus* the exact re-check
+                # of winners.
+                if len(reuse) >= 0.25 * len(self.workload):
+                    if self.tracer.enabled:
+                        self.tracer.event("derivation", kind="hit",
+                                          candidate=str(candidate),
+                                          reused=len(reuse))
+                    partial_items.append((index, candidate, mapping, reuse))
+                    continue
                 if self.tracer.enabled:
-                    self.tracer.event("derivation", kind="cached",
-                                      candidate=str(candidate))
-                return self._checked_transform(candidate, current, hit)
-            reuse = self.derivation.reusable_costs(candidate, current)
-            # Partial evaluation only pays when a meaningful share of
-            # the workload carries over; otherwise it costs nearly a
-            # full advisor call *plus* the exact re-check of winners.
-            if len(reuse) >= 0.25 * len(self.workload):
-                if self.tracer.enabled:
-                    self.tracer.event("derivation", kind="hit",
+                    self.tracer.event("derivation", kind="miss",
                                       candidate=str(candidate),
                                       reused=len(reuse))
-                return self._checked_transform(
-                    candidate, current,
-                    evaluator.evaluate_partial(mapping, reuse, base=current))
-            if self.tracer.enabled:
-                self.tracer.event("derivation", kind="miss",
-                                  candidate=str(candidate),
-                                  reused=len(reuse))
-        return self._checked_transform(candidate, current,
-                                       evaluator.evaluate(mapping))
+            exact_items.append((index, candidate, mapping))
+        if partial_items:
+            evaluations = evaluator.evaluate_partial_many(
+                [(mapping, reuse, current)
+                 for _, _, mapping, reuse in partial_items])
+            for (index, candidate, _, _), evaluated in zip(partial_items,
+                                                           evaluations):
+                results[index] = self._checked_transform(candidate, current,
+                                                         evaluated)
+        if exact_items:
+            evaluations = evaluator.evaluate_many(
+                [mapping for _, _, mapping in exact_items])
+            for (index, candidate, _), evaluated in zip(exact_items,
+                                                        evaluations):
+                results[index] = self._checked_transform(candidate, current,
+                                                         evaluated)
+        return results
 
     def _checked_transform(self, candidate: Transformation,
                            current: EvaluatedMapping,

@@ -33,7 +33,8 @@ class NaiveGreedySearch:
                  default_split_count: int = 5,
                  max_rounds: int = 25,
                  include_subsumed: bool = True,
-                 tracer: Tracer | NullTracer | None = None):
+                 tracer: Tracer | NullTracer | None = None,
+                 jobs: int | None = None):
         self.tree = tree
         self.workload = workload
         self.collected = collected
@@ -46,6 +47,7 @@ class NaiveGreedySearch:
         # transformations (subsumed-pruning without the other rules).
         self.include_subsumed = include_subsumed
         self.tracer = tracer if tracer is not None else get_tracer()
+        self.jobs = jobs
         self.counters = SearchCounters()
 
     def run(self) -> DesignResult:
@@ -75,7 +77,13 @@ class NaiveGreedySearch:
         evaluator = MappingEvaluator(self.workload, self.collected,
                                      self.storage_bound, use_cache=False,
                                      counters=self.counters,
-                                     tracer=self.tracer)
+                                     tracer=self.tracer, jobs=self.jobs)
+        try:
+            return self._run_with(evaluator)
+        finally:
+            evaluator.close()
+
+    def _run_with(self, evaluator: MappingEvaluator) -> DesignResult:
         current = evaluator.evaluate(self.base_mapping)
         if current is None:
             raise RuntimeError("base mapping is infeasible for the workload")
@@ -90,6 +98,7 @@ class NaiveGreedySearch:
                     include_subsumed=self.include_subsumed,
                     default_split_count=self.default_split_count)
                 enumerated = 0
+                work: list[tuple[object, Mapping]] = []
                 for transformation in transformations:
                     enumerated += 1
                     self.counters.transformations_searched += 1
@@ -97,7 +106,10 @@ class NaiveGreedySearch:
                         mapping = transformation.apply(current.mapping)
                     except Exception:
                         continue
-                    evaluated = evaluator.evaluate(mapping)
+                    work.append((transformation, mapping))
+                evaluations = evaluator.evaluate_many(
+                    [mapping for _, mapping in work])
+                for (transformation, _), evaluated in zip(work, evaluations):
                     if evaluated is None:
                         continue
                     self._check_transform(transformation, current, evaluated)

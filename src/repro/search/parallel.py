@@ -1,0 +1,292 @@
+"""Parallel fan-out for candidate costing.
+
+Costing the candidates of one greedy round (or one naive enumeration
+pass) is embarrassingly parallel: every evaluation reads the immutable
+schema tree, the workload, and the collected statistics, and builds its
+own private stats-only database. This module runs those evaluations on
+a ``concurrent.futures`` pool:
+
+* **process backend** (default) — workers are initialized once with a
+  pickled ``(workload, collected stats, storage bound)`` context and
+  receive one picklable work unit per candidate (the mapping plus, for
+  partial evaluations, the reused costs and carried object sets);
+* **thread backend** — a fallback for platforms where process pools
+  are unavailable (and available explicitly via
+  ``REPRO_PARALLEL_BACKEND=thread``); correct but not faster for this
+  pure-Python workload.
+
+Determinism is preserved by construction: tasks are submitted and their
+outputs absorbed in submission order, each worker computes the same
+pure function the serial path computes, and the serial and parallel
+code paths share every decision *around* the evaluations (caching,
+dedup, scoring). Worker-side observability is not lost — each task
+returns its counter deltas, metric deltas, and span tree, which the
+caller grafts into the main process's tracer in submission order.
+
+Controls: ``--jobs N`` on the CLI / the ``jobs=`` search argument, or
+the ``REPRO_PARALLEL`` environment variable (``0``/unset = serial,
+``1``/``auto`` = one worker per CPU, ``N`` = exactly N workers). See
+docs/performance.md.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import (Executor, ProcessPoolExecutor,
+                                ThreadPoolExecutor)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from ..obs import NULL_TRACER, NullTracer, Tracer
+from .result import SearchCounters
+
+__all__ = ["EvaluationPool", "EvaluationTask", "WorkerOutput",
+           "resolve_jobs", "parallel_backend", "graft_spans"]
+
+#: SearchCounters fields a worker evaluation can advance. ``wall_time``
+#: is excluded: the search's Stopwatch measures real elapsed time in
+#: the main process, and summing worker times would double-count.
+_COUNTER_FIELDS = ("transformations_searched", "mappings_evaluated",
+                   "cache_hits", "cache_hits_infeasible",
+                   "persistent_cache_hits", "tuner_calls",
+                   "optimizer_calls", "derived_query_costs")
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker count from an explicit argument or ``REPRO_PARALLEL``.
+
+    ``None`` defers to the environment: unset/``0``/``off`` mean serial;
+    ``1``/``auto``/``on`` mean one worker per CPU (minimum 2, so the
+    parallel machinery is exercised even on single-CPU runners); any
+    other integer is the exact worker count.
+    """
+    if jobs is not None:
+        return max(1, int(jobs))
+    raw = os.environ.get("REPRO_PARALLEL", "").strip().lower()
+    if raw in ("", "0", "off", "false", "no"):
+        return 1
+    if raw in ("1", "auto", "on", "true", "yes"):
+        return max(2, os.cpu_count() or 1)
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+def parallel_backend() -> str:
+    """``process`` (default) or ``thread`` via ``REPRO_PARALLEL_BACKEND``."""
+    raw = os.environ.get("REPRO_PARALLEL_BACKEND", "process").strip().lower()
+    return "thread" if raw == "thread" else "process"
+
+
+# ----------------------------------------------------------------------
+# Work units
+# ----------------------------------------------------------------------
+
+#: ``(kind, mapping, reuse, carried)`` where ``kind`` is ``"exact"`` or
+#: ``"partial"``; ``reuse`` maps workload indices to reused costs and
+#: ``carried`` maps the same indices to the object sets those costs were
+#: derived with (both ``None`` for exact evaluations).
+EvaluationTask = tuple
+
+
+@dataclass
+class WorkerOutput:
+    """Everything one evaluation produced, in picklable form."""
+
+    result: object  # EvaluatedMapping | None
+    counters: dict[str, int] = field(default_factory=dict)
+    metrics: dict[str, dict[str, float]] = field(default_factory=dict)
+    spans: list[dict] = field(default_factory=list)
+
+
+def _counters_snapshot(counters: SearchCounters) -> dict[str, int]:
+    return {name: getattr(counters, name) for name in _COUNTER_FIELDS}
+
+
+def run_task(evaluator, task: EvaluationTask, tracing: bool) -> WorkerOutput:
+    """Execute one work unit on an evaluator and package the output.
+
+    Shared by the process workers and the thread fallback; the caller
+    guarantees the evaluator is not used concurrently.
+    """
+    from ..obs import trace_to_dicts
+
+    kind, mapping, reuse, carried = task
+    tracer = Tracer() if tracing else NULL_TRACER
+    evaluator.rebind_tracer(tracer)
+    before = _counters_snapshot(evaluator.counters)
+    if kind == "partial":
+        result = evaluator._evaluate_partial_uncached(mapping, reuse, carried)
+    else:
+        result = evaluator._evaluate_uncached(mapping)
+    after = _counters_snapshot(evaluator.counters)
+    deltas = {name: after[name] - before[name]
+              for name in _COUNTER_FIELDS if after[name] != before[name]}
+    if not tracing:
+        return WorkerOutput(result=result, counters=deltas)
+    exported = trace_to_dicts(tracer)
+    return WorkerOutput(result=result, counters=deltas,
+                        metrics=tracer.metric_snapshot(),
+                        spans=exported["spans"])
+
+
+# ----------------------------------------------------------------------
+# Process-pool worker side
+# ----------------------------------------------------------------------
+
+_WORKER_EVALUATOR = None
+_WORKER_TRACING = False
+
+
+def _init_worker(payload: bytes) -> None:
+    """Build this worker's evaluator once from the pickled context."""
+    global _WORKER_EVALUATOR, _WORKER_TRACING
+    from .evaluator import MappingEvaluator
+
+    workload, collected, storage_bound, tracing = pickle.loads(payload)
+    _WORKER_EVALUATOR = MappingEvaluator(
+        workload, collected, storage_bound,
+        use_cache=False, jobs=1, tracer=NULL_TRACER)
+    _WORKER_TRACING = tracing
+
+
+def _pool_task(task: EvaluationTask) -> WorkerOutput:
+    assert _WORKER_EVALUATOR is not None, "worker initializer did not run"
+    return run_task(_WORKER_EVALUATOR, task, _WORKER_TRACING)
+
+
+# ----------------------------------------------------------------------
+# Main-process side
+# ----------------------------------------------------------------------
+
+
+class EvaluationPool:
+    """A lazily created executor bound to one evaluation problem."""
+
+    def __init__(self, workload, collected, storage_bound,
+                 jobs: int, tracing: bool, backend: str | None = None):
+        self.workload = workload
+        self.collected = collected
+        self.storage_bound = storage_bound
+        self.jobs = jobs
+        self.tracing = tracing
+        self.backend = backend or parallel_backend()
+        self._executor: Executor | None = None
+
+    # ------------------------------------------------------------------
+    def _ensure_executor(self) -> None:
+        if self._executor is not None:
+            return
+        if self.backend == "process":
+            payload = pickle.dumps((self.workload, self.collected,
+                                    self.storage_bound, self.tracing))
+            try:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    initializer=_init_worker, initargs=(payload,))
+                return
+            except (OSError, ValueError, pickle.PicklingError):
+                self.backend = "thread"  # e.g. no /dev/shm semaphores
+        self._executor = ThreadPoolExecutor(max_workers=self.jobs)
+
+    def _thread_task(self, task: EvaluationTask) -> WorkerOutput:
+        # A fresh evaluator per task: nothing mutable is shared between
+        # concurrently running thread tasks.
+        from .evaluator import MappingEvaluator
+
+        evaluator = MappingEvaluator(
+            self.workload, self.collected, self.storage_bound,
+            use_cache=False, jobs=1, tracer=NULL_TRACER)
+        return run_task(evaluator, task, self.tracing)
+
+    def _serial_task(self, task: EvaluationTask) -> WorkerOutput:
+        return self._thread_task(task)
+
+    # ------------------------------------------------------------------
+    def run(self, tasks: list[EvaluationTask]) -> list[WorkerOutput]:
+        """Evaluate all tasks; outputs are in submission order.
+
+        A broken process pool (a worker killed by the OS, a pickling
+        failure) degrades to in-process execution for the tasks that
+        did not complete — the batch always finishes. Evaluation-level
+        exceptions (e.g. :class:`~repro.errors.CheckError`) propagate:
+        they signal bugs, not infrastructure failures.
+        """
+        self._ensure_executor()
+        assert self._executor is not None
+        submit = (self._executor.submit if self.backend == "thread"
+                  else None)
+        if submit is not None:
+            futures = [submit(self._thread_task, task) for task in tasks]
+        else:
+            try:
+                futures = [self._executor.submit(_pool_task, task)
+                           for task in tasks]
+            except (BrokenProcessPool, RuntimeError, pickle.PicklingError):
+                self._degrade()
+                return [self._serial_task(task) for task in tasks]
+        outputs: list[WorkerOutput] = []
+        degraded = False
+        for index, future in enumerate(futures):
+            if degraded:
+                outputs.append(self._serial_task(tasks[index]))
+                continue
+            try:
+                outputs.append(future.result())
+            except (BrokenProcessPool, OSError, pickle.PicklingError):
+                degraded = True
+                self._degrade()
+                outputs.append(self._serial_task(tasks[index]))
+        return outputs
+
+    def _degrade(self) -> None:
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+        self.backend = "thread"
+        self.jobs = 1
+
+    def close(self) -> None:
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+
+# ----------------------------------------------------------------------
+# Trace grafting
+# ----------------------------------------------------------------------
+
+
+def graft_spans(tracer: Tracer | NullTracer, span_dicts: list[dict]) -> None:
+    """Attach worker span trees under the tracer's current span.
+
+    Replayed spans keep their recorded attributes, events, and wall
+    times (worker compute time — their sum can exceed the batch's real
+    elapsed time, exactly as in any parallel trace), and receive fresh
+    sequence numbers in submission order so exporters stay
+    deterministic.
+    """
+    if not tracer.enabled:
+        return
+    for span_dict in span_dicts:
+        with tracer.span(span_dict["name"]) as span:
+            for key, value in span_dict.get("attributes", {}).items():
+                span.set(key, value)
+            for event in span_dict.get("events", []):
+                span.event(event["name"], **event.get("attributes", {}))
+            graft_spans(tracer, span_dict.get("children", []))
+        span.wall_time = span_dict.get("wall_time", 0.0)
+
+
+def merge_metrics(tracer: Tracer | NullTracer,
+                  metrics: dict[str, dict[str, float]]) -> None:
+    """Fold worker metric deltas into the main tracer's registries."""
+    if not tracer.enabled:
+        return
+    for component in sorted(metrics):
+        registry = tracer.metrics(component)
+        counters = metrics[component]
+        for name in sorted(counters):
+            registry.incr(name, counters[name])

@@ -18,7 +18,13 @@ class SearchCounters:
 
     transformations_searched: int = 0
     mappings_evaluated: int = 0
+    #: In-memory memo hits that returned a feasible evaluation. Cached
+    #: infeasible (``None``) lookups are counted apart — they never
+    #: saved an advisor call, so folding them in overstated hit rate.
     cache_hits: int = 0
+    cache_hits_infeasible: int = 0
+    #: Hits served from the persistent cross-run cache (warm hits).
+    persistent_cache_hits: int = 0
     tuner_calls: int = 0
     optimizer_calls: int = 0
     derived_query_costs: int = 0
@@ -28,6 +34,8 @@ class SearchCounters:
         self.transformations_searched += other.transformations_searched
         self.mappings_evaluated += other.mappings_evaluated
         self.cache_hits += other.cache_hits
+        self.cache_hits_infeasible += other.cache_hits_infeasible
+        self.persistent_cache_hits += other.persistent_cache_hits
         self.tuner_calls += other.tuner_calls
         self.optimizer_calls += other.optimizer_calls
         self.derived_query_costs += other.derived_query_costs

@@ -38,7 +38,9 @@ class TwoStepSearch:
                  base_mapping: Mapping | None = None,
                  default_split_count: int = 5,
                  max_rounds: int = 25,
-                 tracer: Tracer | NullTracer | None = None):
+                 tracer: Tracer | NullTracer | None = None,
+                 jobs: int | None = None,
+                 cache=None):
         self.tree = tree
         self.workload = workload
         self.collected = collected
@@ -47,6 +49,8 @@ class TwoStepSearch:
         self.default_split_count = default_split_count
         self.max_rounds = max_rounds
         self.tracer = tracer if tracer is not None else get_tracer()
+        self.jobs = jobs
+        self.cache = cache
         self.counters = SearchCounters()
 
     # ------------------------------------------------------------------
@@ -96,13 +100,19 @@ class TwoStepSearch:
             logical_span.set("rounds", rounds)
             logical_span.set("applied", len(applied))
 
-        # Step 2: physical design once, on the chosen logical mapping.
+        # Step 2: physical design once, on the chosen logical mapping —
+        # a one-element batch, so it shares the batch API's cache layers
+        # (a warm persistent cache makes this step free).
         evaluator = MappingEvaluator(self.workload, self.collected,
                                      self.storage_bound,
                                      counters=self.counters,
-                                     tracer=self.tracer)
-        with self.tracer.span("physical_step"):
-            final = evaluator.evaluate(current_mapping)
+                                     tracer=self.tracer,
+                                     jobs=self.jobs, cache=self.cache)
+        try:
+            with self.tracer.span("physical_step"):
+                final = evaluator.evaluate_many([current_mapping])[0]
+        finally:
+            evaluator.close()
         if final is None:
             raise SearchError("chosen logical mapping became infeasible")
         return DesignResult(

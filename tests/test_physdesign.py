@@ -159,3 +159,49 @@ class TestConfiguration:
 
     def test_describe_empty(self):
         assert "no physical structures" in Configuration().describe()
+
+
+class TestAdvisorEfficiency:
+    def test_one_size_computation_per_candidate(self, db, monkeypatch):
+        """Regression: greedy selection used to recompute the chosen
+        configuration's size (``Configuration.size_bytes``) on every
+        heap pop, making selection quadratic in configuration size.
+        Candidate sizes are now computed once each and the accepted
+        size is a running sum."""
+        advisor = IndexTuningAdvisor(db)
+        size_calls = []
+        original_size = IndexTuningAdvisor._candidate_size
+
+        def counting_size(self, candidate):
+            size_calls.append(candidate)
+            return original_size(self, candidate)
+
+        monkeypatch.setattr(IndexTuningAdvisor, "_candidate_size",
+                            counting_size)
+
+        def forbidden(self, *args, **kwargs):
+            raise AssertionError(
+                "Configuration.size_bytes called during tuning")
+
+        monkeypatch.setattr(Configuration, "size_bytes", forbidden)
+        data = db.catalog.total_data_bytes()
+        result = advisor.tune([(parse_sql(JOIN_SQL), 1.0)],
+                              storage_bound=data + 1 << 30)
+        assert len(result.configuration) >= 1
+        # Exactly one size computation per generated candidate — none
+        # repeated across greedy passes.
+        assert len(size_calls) == result.candidates_considered
+        assert len(size_calls) == len(set(map(id, size_calls)))
+
+    def test_shared_cost_cache_across_invocations(self, db):
+        """A second tune of the same workload against the same database
+        is served entirely from the shared what-if cost cache."""
+        shared: dict = {}
+        workload = [(parse_sql(JOIN_SQL), 1.0)]
+        first = IndexTuningAdvisor(db, cost_cache=shared).tune(workload)
+        second = IndexTuningAdvisor(db, cost_cache=shared).tune(workload)
+        assert second.total_cost == first.total_cost
+        assert second.configuration.describe() == \
+            first.configuration.describe()
+        assert first.optimizer_calls > 0
+        assert second.optimizer_calls == 0
