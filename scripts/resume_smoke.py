@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""SIGKILL resume smoke test: kill a checkpointed search, resume it,
+and require the resumed DesignResult to match an uninterrupted run.
+
+tests/test_checkpoint.py proves the same property with an injected
+fatal fault (deterministic, in-process). This script is the CI
+complement with a *real* ``SIGKILL``: the child search is slowed down
+with ``hang`` faults so it writes at least one checkpoint before the
+parent kills it -9 mid-flight, then the parent resumes from the
+surviving snapshot.
+
+Usage: python scripts/resume_smoke.py [--scale N]
+Exit 0 on success, 1 on mismatch/failure.
+"""
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.experiments import DatasetBundle  # noqa: E402
+from repro.resilience import NULL_PLAN, install_fault_plan  # noqa: E402
+from repro.search import GreedySearch, mapping_digest  # noqa: E402
+
+# Each evaluation sleeps this long in the child, giving the parent a
+# comfortable window between "first checkpoint exists" and "search
+# done" in which to deliver the SIGKILL.
+HANG_SPEC = "evaluate:1:hang:0.2"
+
+
+def _problem(scale):
+    bundle = DatasetBundle.dblp(scale=scale, seed=11)
+    workload = bundle.workload_generator(seed=5).generate(4)
+    return bundle, workload
+
+
+def _fingerprint(result):
+    return (mapping_digest(result.mapping), tuple(result.applied),
+            result.estimated_cost, result.configuration.describe())
+
+
+def _child(scale, ckpt_dir):
+    install_fault_plan(HANG_SPEC)
+    bundle, workload = _problem(scale)
+    GreedySearch(bundle.tree, workload, bundle.stats, bundle.storage_bound,
+                 checkpoint=ckpt_dir).run()
+    return 0
+
+
+def _parent(scale, ckpt_dir):
+    bundle, workload = _problem(scale)
+    print("resume-smoke: running uninterrupted baseline ...", flush=True)
+    baseline = GreedySearch(bundle.tree, workload, bundle.stats,
+                            bundle.storage_bound).run()
+
+    ckpt_file = Path(ckpt_dir) / "search.ckpt"
+    env = dict(os.environ,
+               PYTHONPATH=os.pathsep.join(
+                   filter(None, [str(REPO / "src"),
+                                 os.environ.get("PYTHONPATH")])))
+    child = subprocess.Popen(
+        [sys.executable, __file__, "--child", "--scale", str(scale),
+         "--checkpoint-dir", str(ckpt_dir)], env=env)
+    try:
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if child.poll() is not None:
+                # Finished before we struck — the final checkpoint still
+                # exists, so the resume path below remains meaningful.
+                print("resume-smoke: child finished before the kill",
+                      flush=True)
+                break
+            if ckpt_file.exists():
+                time.sleep(1.0)  # let a round or two more land
+                print("resume-smoke: checkpoint seen, sending SIGKILL",
+                      flush=True)
+                child.send_signal(signal.SIGKILL)
+                child.wait(timeout=30)
+                break
+            time.sleep(0.1)
+        else:
+            print("resume-smoke: FAIL — no checkpoint within 120s")
+            return 1
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait(timeout=30)
+
+    if not ckpt_file.exists():
+        print("resume-smoke: FAIL — checkpoint file missing after kill")
+        return 1
+    install_fault_plan(NULL_PLAN)
+    print("resume-smoke: resuming from the surviving checkpoint ...",
+          flush=True)
+    resumed = GreedySearch(bundle.tree, workload, bundle.stats,
+                           bundle.storage_bound, checkpoint=ckpt_dir,
+                           resume=True).run()
+    if _fingerprint(resumed) != _fingerprint(baseline):
+        print("resume-smoke: FAIL — resumed result differs from baseline")
+        print(f"  baseline: {_fingerprint(baseline)}")
+        print(f"  resumed:  {_fingerprint(resumed)}")
+        return 1
+    print(f"resume-smoke: PASS — resumed design identical "
+          f"(cost {resumed.estimated_cost:.1f}, "
+          f"{len(resumed.applied)} transformations)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=150)
+    parser.add_argument("--child", action="store_true",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--checkpoint-dir", default=None)
+    args = parser.parse_args()
+    if args.child:
+        return _child(args.scale, args.checkpoint_dir)
+    import tempfile
+    ckpt_dir = args.checkpoint_dir
+    if ckpt_dir is None:
+        with tempfile.TemporaryDirectory(prefix="resume-smoke-") as tmp:
+            return _parent(args.scale, tmp)
+    return _parent(args.scale, ckpt_dir)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

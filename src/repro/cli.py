@@ -179,6 +179,11 @@ def parse_workload_file(path: str, name: str = "workload") -> Workload:
 
 def cmd_advise(args, out=None) -> int:
     out = out or sys.stdout
+    if args.faults:
+        from .resilience import install_fault_plan
+        install_fault_plan(args.faults)
+    if args.resume and not args.checkpoint_dir:
+        raise SystemExit("--resume requires --checkpoint-dir")
     tree = _load_schema(args)
     docs = [parse_file(path) for path in args.xml]
     for doc in docs:
@@ -203,6 +208,18 @@ def cmd_advise(args, out=None) -> int:
             from .search import EvaluationCache
             kwargs["cache"] = EvaluationCache(args.cache_dir,
                                               tracer=tracer)
+    if args.checkpoint_dir:
+        if args.algorithm == "two-step":
+            # Two-step's logical step re-enumerates from scratch each
+            # round with no costly per-round state worth snapshotting.
+            print("note: --checkpoint-dir is ignored for two-step",
+                  file=out)
+        else:
+            from .resilience import CheckpointStore
+            kwargs["checkpoint"] = CheckpointStore(args.checkpoint_dir,
+                                                   tracer=tracer)
+            kwargs["checkpoint_every"] = args.checkpoint_every
+            kwargs["resume"] = args.resume
     search = search_cls(tree, workload, stats, **kwargs)
     result = search.run()
     print(result.describe(), file=out)
@@ -213,6 +230,15 @@ def cmd_advise(args, out=None) -> int:
           f"({counters.cache_hits_infeasible} infeasible, "
           f"{counters.persistent_cache_hits} warm), "
           f"{counters.wall_time:.1f}s", file=out)
+    if (counters.fault_retries or counters.faulted_evaluations or
+            counters.timeouts or counters.pool_degradations or
+            counters.checkpoints_written):
+        print(f"resilience: {counters.fault_retries} retries, "
+              f"{counters.faulted_evaluations} faulted evaluations "
+              f"({counters.timeouts} timeouts), "
+              f"{counters.pool_degradations} pool degradations, "
+              f"{counters.checkpoints_written} checkpoints written",
+              file=out)
     if args.trace:
         print("\ntrace:", file=out)
         print(render_tree(tracer), file=out)
@@ -343,6 +369,19 @@ def cmd_experiment(args, out=None) -> int:
 # ----------------------------------------------------------------------
 
 
+def _jobs_argument(raw: str) -> int:
+    """Validate ``--jobs``: an explicit value below 1 is a loud error."""
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {raw!r}")
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be >= 1 (got {jobs}); use --jobs 1 for a serial "
+            "run, or omit the flag to follow REPRO_PARALLEL")
+    return jobs
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -385,12 +424,30 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print a per-phase span trace of the search")
     p_advise.add_argument("--trace-json", metavar="FILE", default=None,
                           help="write the span trace as JSON to FILE")
-    p_advise.add_argument("--jobs", type=int, default=None,
-                          help="parallel evaluation workers (default: "
-                               "REPRO_PARALLEL, or serial when unset)")
+    p_advise.add_argument("--jobs", type=_jobs_argument, default=None,
+                          help="parallel evaluation workers, >= 1. "
+                               "Default: the REPRO_PARALLEL environment "
+                               "variable (0/unset = serial, 1/auto = one "
+                               "worker per CPU, N = exactly N); "
+                               "REPRO_PARALLEL_BACKEND selects "
+                               "process (default) or thread workers")
     p_advise.add_argument("--cache-dir", metavar="DIR", default=None,
                           help="persist evaluations under DIR and reuse "
                                "them across runs")
+    p_advise.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                          help="snapshot search state under DIR at every "
+                               "round boundary (atomic; survives kills)")
+    p_advise.add_argument("--checkpoint-every", type=int, default=1,
+                          metavar="N", help="checkpoint every N rounds "
+                                            "(default: 1)")
+    p_advise.add_argument("--resume", action="store_true",
+                          help="resume from the checkpoint in "
+                               "--checkpoint-dir instead of starting over")
+    p_advise.add_argument("--faults", metavar="SPEC", default=None,
+                          help="inject deterministic faults, e.g. "
+                               "'seed=42;evaluate:0.2:transient' "
+                               "(also via REPRO_FAULTS; see "
+                               "docs/resilience.md)")
     p_advise.set_defaults(func=cmd_advise)
 
     p_cache = sub.add_parser(

@@ -198,7 +198,9 @@ class Database:
                  extra_tables: list[Table] | None = None) -> PlannedQuery:
         """Optimizer-estimated cost; supports hypothetical objects."""
         from ..check.runtime import checks_enabled
+        from ..resilience import active_fault_plan
 
+        active_fault_plan().maybe_raise("whatif")
         self._metrics.incr("estimate_calls")
         query = self._as_query(query)
         optimizer = Optimizer(self.catalog, self.stats, what_if=True,

@@ -90,6 +90,33 @@ class SearchError(ReproError):
     """Design-search failure (e.g. no feasible configuration)."""
 
 
+class ResilienceError(ReproError):
+    """Base class for the fault-injection / recovery layer."""
+
+
+class InjectedFault(ResilienceError):
+    """A fault deliberately raised by an active :class:`FaultPlan`.
+
+    ``retryable`` distinguishes transient faults (the retry policy may
+    re-attempt the operation) from fatal ones (propagate immediately —
+    used by tests to kill a search at a deterministic point).
+    """
+
+    def __init__(self, site: str, retryable: bool = True):
+        kind = "transient" if retryable else "fatal"
+        super().__init__(f"injected {kind} fault at site {site!r}")
+        self.site = site
+        self.retryable = retryable
+
+
+class EvaluationTimeout(ResilienceError):
+    """A pooled evaluation exceeded the per-evaluation deadline."""
+
+
+class CheckpointError(ResilienceError):
+    """A checkpoint cannot be used (wrong problem, wrong algorithm)."""
+
+
 class CheckError(ReproError):
     """A static-analysis pass found ERROR-severity violations.
 

@@ -133,6 +133,8 @@ class IndexTuningAdvisor:
         inserts per unit of workload time; candidate structures on
         loaded tables are charged a maintenance penalty.
         """
+        from ..resilience import active_fault_plan
+        active_fault_plan().maybe_raise("advisor")
         self.stats.invocations += 1
         self._cache_lookups = 0
         self._cache_hits = 0

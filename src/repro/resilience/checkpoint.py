@@ -1,0 +1,111 @@
+"""Checkpoint/resume for long-running design searches.
+
+A greedy search over a large problem runs for hours (the paper's own
+pitch for Greedy is that joint search is *long-running*); a crash at
+round 19 of 25 must not restart from zero. The searches snapshot their
+full loop state through a :class:`CheckpointStore`:
+
+* **atomic writes** — pickle to a temp file, then ``os.replace``; a
+  crash mid-write leaves the previous checkpoint intact;
+* **self-describing** — each snapshot carries the algorithm name and a
+  problem key (problem digest + base-mapping digest + search settings);
+  resuming against a different problem raises
+  :class:`~repro.errors.CheckpointError` instead of silently producing
+  a wrong design;
+* **corruption-safe** — a torn or unreadable checkpoint loads as
+  "no checkpoint" (counted on the ``checkpoint`` metrics) and the
+  search starts fresh rather than crashing or resuming wrong state;
+* **complete** — the greedy snapshot includes the evaluator's in-memory
+  memo, so every cache-hit/derivation decision after resume matches the
+  uninterrupted run and the final :class:`DesignResult` is identical.
+
+Fault site ``checkpoint.write`` lets tests prove that a failed or torn
+checkpoint write (disk full, crash) degrades to "skip this checkpoint"
+and never corrupts the search itself.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+
+from ..obs import NullTracer, Tracer, get_tracer
+from .faults import active_fault_plan
+
+__all__ = ["CheckpointStore"]
+
+#: Bump when the snapshot layout changes; old checkpoints then fail the
+#: format check and are treated as absent instead of mis-unpickled.
+CHECKPOINT_VERSION = 1
+
+_FILENAME = "search.ckpt"
+
+
+class CheckpointStore:
+    """Atomic, validated persistence of one search's loop state."""
+
+    def __init__(self, root: str | Path,
+                 tracer: Tracer | NullTracer | None = None):
+        self.root = Path(root)
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self._metrics = self.tracer.metrics("checkpoint")
+
+    @property
+    def path(self) -> Path:
+        return self.root / _FILENAME
+
+    # ------------------------------------------------------------------
+    def save(self, state: dict) -> bool:
+        """Persist a snapshot; ``False`` when the write was skipped.
+
+        A failed write (OS error, injected fault) is a degradation, not
+        an error: the search keeps its previous checkpoint and moves
+        on. A ``torn`` fault deliberately persists a truncated payload
+        to prove half-written checkpoints are survivable.
+        """
+        fault = active_fault_plan().fire("checkpoint.write")
+        if fault is not None and fault.kind != "torn":
+            self._metrics.incr("write_faults")
+            self.tracer.event("checkpoint_write_fault", kind=fault.kind)
+            return False
+        payload = pickle.dumps({"version": CHECKPOINT_VERSION, **state})
+        if fault is not None:  # torn write
+            payload = payload[:max(len(payload) // 2, 1)]
+            self._metrics.incr("torn_writes")
+        tmp = self.path.with_name(f"{_FILENAME}.{os.getpid()}.tmp")
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp.write_bytes(payload)
+            os.replace(tmp, self.path)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+            self._metrics.incr("write_failures")
+            return False
+        self._metrics.incr("writes")
+        return True
+
+    def load(self) -> dict | None:
+        """The last snapshot, or ``None`` (absent/corrupt/old-format)."""
+        try:
+            payload = self.path.read_bytes()
+        except OSError:
+            return None
+        try:
+            state = pickle.loads(payload)
+        except Exception:
+            # Torn/corrupt checkpoint: recoverable — start fresh.
+            self._metrics.incr("corrupt")
+            self.tracer.event("checkpoint_corrupt", path=str(self.path))
+            return None
+        if not isinstance(state, dict) or \
+                state.get("version") != CHECKPOINT_VERSION:
+            self._metrics.incr("version_mismatches")
+            return None
+        return state
+
+    def clear(self) -> bool:
+        """Drop the snapshot; ``True`` when one existed."""
+        existed = self.path.exists()
+        self.path.unlink(missing_ok=True)
+        return existed

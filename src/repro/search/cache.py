@@ -45,6 +45,7 @@ from pathlib import Path
 
 from ..mapping import CollectedStats
 from ..obs import NullTracer, Tracer, get_tracer
+from ..resilience import active_fault_plan
 from ..workload import Workload
 
 __all__ = ["CacheKey", "EvaluationCache", "default_cache_dir",
@@ -53,7 +54,7 @@ __all__ = ["CacheKey", "EvaluationCache", "default_cache_dir",
 #: Bump when the pickled payload layout or the digest recipe changes;
 #: old entries become unreachable (different problem digest) instead of
 #: being deserialized wrongly.
-CACHE_VERSION = 1
+CACHE_VERSION = 2  # 2: dict keys canonicalized in stats digests
 
 
 def _sha(text: str) -> str:
@@ -65,11 +66,15 @@ def _canonical(value) -> str:
 
     ``repr`` alone is not enough: set/frozenset iteration order depends
     on string hashing, and dict order on insertion history. Containers
-    are therefore serialized with sorted members; leaves fall back to
-    ``repr`` (value-based for the dataclasses used in statistics).
+    are therefore serialized with sorted members — including dict
+    *keys*, which may themselves be frozensets (the joint-presence
+    statistics) whose repr order changes with ``PYTHONHASHSEED``;
+    leaves fall back to ``repr`` (value-based for the dataclasses used
+    in statistics).
     """
     if isinstance(value, (Counter, dict)):
-        items = sorted(((repr(k), _canonical(v)) for k, v in value.items()))
+        items = sorted(((_canonical(k), _canonical(v))
+                        for k, v in value.items()))
         return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
     if isinstance(value, (set, frozenset)):
         return "{" + ",".join(sorted(_canonical(v) for v in value)) + "}"
@@ -149,6 +154,13 @@ class EvaluationCache:
     def get(self, key: CacheKey) -> tuple[bool, object]:
         """``(found, value)``; a found ``None`` is a cached infeasible
         mapping, which is why the flag is separate from the value."""
+        fault = active_fault_plan().fire("cache.read")
+        if fault is not None:
+            # An unreadable store degrades to a miss: the evaluation is
+            # recomputed, never lost.
+            self._metrics.incr("read_faults")
+            self._metrics.incr("misses")
+            return False, None
         path = self._path(key)
         try:
             payload = path.read_bytes()
@@ -159,8 +171,11 @@ class EvaluationCache:
             value = pickle.loads(payload)
         except Exception:
             # A truncated/stale entry behaves like a miss and is removed
-            # so it cannot mask itself as warm forever.
+            # so it cannot mask itself as warm forever. The recovery is
+            # recorded durably (``recoveries.log``) so ``repro cache
+            # report`` can surface how often the store healed itself.
             path.unlink(missing_ok=True)
+            self._record_recovery(path)
             self._metrics.incr("corrupt_entries")
             self._metrics.incr("misses")
             return False, None
@@ -168,16 +183,47 @@ class EvaluationCache:
         return True, value
 
     def put(self, key: CacheKey, value: object) -> None:
+        payload = pickle.dumps(value)
+        fault = active_fault_plan().fire("cache.write")
+        if fault is not None:
+            if fault.kind != "torn":
+                self._metrics.incr("write_faults")
+                return  # a failed store degrades to a no-op
+            # A torn write persists a half-written entry — the read
+            # side must recover from it (see ``get``).
+            payload = payload[:max(len(payload) // 2, 1)]
+            self._metrics.incr("torn_writes")
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         try:
-            tmp.write_bytes(pickle.dumps(value))
+            tmp.write_bytes(payload)
             os.replace(tmp, path)
         except OSError:
             tmp.unlink(missing_ok=True)
             return  # a read-only cache dir degrades to a no-op store
         self._metrics.incr("stores")
+
+    # ------------------------------------------------------------------
+    @property
+    def _recovery_log(self) -> Path:
+        return self.root / "recoveries.log"
+
+    def _record_recovery(self, path: Path) -> None:
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            with open(self._recovery_log, "a", encoding="utf-8") as fh:
+                fh.write(f"{path.parent.name}/{path.name}\n")
+        except OSError:
+            pass  # accounting must never make recovery itself fail
+
+    def recoveries(self) -> int:
+        """How many corrupt entries this store has ever recovered from."""
+        try:
+            with open(self._recovery_log, encoding="utf-8") as fh:
+                return sum(1 for line in fh if line.strip())
+        except OSError:
+            return 0
 
     def invalidate(self, key: CacheKey) -> bool:
         """Drop one entry; ``True`` when it existed."""
@@ -208,6 +254,7 @@ class EvaluationCache:
                         child.rmdir()
                     except OSError:
                         pass
+        self._recovery_log.unlink(missing_ok=True)
         self._metrics.incr("clears")
         return removed
 
@@ -226,4 +273,7 @@ class EvaluationCache:
         for problem in sorted(per_problem):
             lines.append(f"  problem {problem}: {per_problem[problem]} "
                          f"entries")
+        recovered = self.recoveries()
+        if recovered:
+            lines.append(f"corrupt entries recovered: {recovered}")
         return "\n".join(lines)

@@ -19,9 +19,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..errors import MappingError
 from ..mapping import (CollectedStats, Mapping, RepetitionSplit,
                        Transformation, TypeMerge, TypeSplit, UnionDistribute,
                        UnionDistribution)
+from ..obs import get_tracer
+from ..resilience import note_suppressed
 from ..translate import resolve_steps
 from ..workload import Workload
 from ..xpath import XPathQuery
@@ -248,7 +251,8 @@ def apply_splits(mapping: Mapping,
     for transformation in sorted(splits, key=order):
         try:
             current = transformation.validate_applied(current)
-        except Exception:
+        except MappingError as exc:
+            note_suppressed(exc, "selection.apply_splits", get_tracer())
             continue
         applied.append(transformation)
     return current, applied

@@ -21,9 +21,12 @@ the physical design tool (see
 
 from __future__ import annotations
 
+from ..errors import MappingError
 from ..mapping import (Inline, Outline, RepetitionMerge, RepetitionSplit,
                        Transformation, TypeMerge, TypeSplit, UnionDistribute,
                        UnionFactorize)
+from ..obs import get_tracer
+from ..resilience import note_suppressed
 from ..sqlast import Query
 from .evaluator import EvaluatedMapping
 
@@ -38,7 +41,8 @@ def affected_annotations(transformation: Transformation,
     def owner_annotation(node_id: int) -> str | None:
         try:
             owner = mapping.owner_of(node_id)
-        except Exception:
+        except MappingError as exc:
+            note_suppressed(exc, "derivation.owner_of", get_tracer())
             return None
         return mapping.annotation_of(owner)
 
@@ -95,7 +99,8 @@ def _split_element_columns(transformation, evaluated: EvaluatedMapping
     leaf = tree.children(rep)[0]
     try:
         storage = evaluated.schema.storage_of(leaf.node_id)
-    except Exception:
+    except MappingError as exc:
+        note_suppressed(exc, "derivation.storage_of", get_tracer())
         return {leaf.name}
     out = set(storage.split_columns)
     if storage.column:

@@ -34,6 +34,7 @@ parallel paths produce identical results by construction.
 from __future__ import annotations
 
 import hashlib
+import time
 from dataclasses import dataclass
 
 from ..engine import Database
@@ -42,6 +43,8 @@ from ..mapping import (CollectedStats, MappedSchema, Mapping, derive_schema,
                        derive_table_stats)
 from ..obs import NullTracer, Tracer, get_tracer
 from ..physdesign import IndexTuningAdvisor, QueryReport, TuningResult
+from ..resilience import (RETRYABLE_CATEGORIES, RetryPolicy,
+                          active_fault_plan, classify)
 from ..sqlast import Query
 from ..translate import Translator
 from ..workload import Workload
@@ -126,7 +129,8 @@ class MappingEvaluator:
                  counters: SearchCounters | None = None,
                  tracer: Tracer | NullTracer | None = None,
                  jobs: int | None = None,
-                 cache: EvaluationCache | None = None):
+                 cache: EvaluationCache | None = None,
+                 policy: RetryPolicy | None = None):
         self.workload = workload
         self.collected = collected
         self.storage_bound = storage_bound
@@ -136,6 +140,7 @@ class MappingEvaluator:
         self._metrics = self.tracer.metrics("evaluator")
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
+        self.policy = policy if policy is not None else RetryPolicy.from_env()
         self._cache: dict[tuple, EvaluatedMapping | None] = {}
         self._partial_cache: dict[tuple, EvaluatedMapping | None] = {}
         # What-if cost cache shared across every advisor invocation of
@@ -172,7 +177,9 @@ class MappingEvaluator:
         if self._pool is None:
             self._pool = EvaluationPool(
                 self.workload, self.collected, self.storage_bound,
-                jobs=self.jobs, tracing=bool(self.tracer.enabled))
+                jobs=self.jobs, tracing=bool(self.tracer.enabled),
+                policy=self.policy, counters=self.counters,
+                tracer=self.tracer)
         return self._pool
 
     def _problem_digest(self) -> str:
@@ -267,8 +274,15 @@ class MappingEvaluator:
             self._compute(pending, results)
         for position, value in enumerate(results):
             if isinstance(value, _Deferred):
-                results[position] = self._record_memory_hit(
-                    value.kind, self._store(value.kind)[value.key])
+                store = self._store(value.kind)
+                if value.key in store:
+                    results[position] = self._record_memory_hit(
+                        value.kind, store[value.key])
+                else:
+                    # The twin evaluation was dropped by a fault (and
+                    # deliberately not cached); this duplicate is
+                    # dropped the same way, without counting a hit.
+                    results[position] = None
         return results
 
     def _compute(self, pending: list[tuple[int, tuple]],
@@ -278,22 +292,67 @@ class MappingEvaluator:
                 [task for _, task in pending])
             for (position, task), output in zip(pending, outputs):
                 self._absorb(output)
-                results[position] = self._finish(task, output.result)
+                results[position] = self._finish(task, output.result,
+                                                 output.fault)
             return
         for position, task in pending:
             kind, mapping, reuse, carried = task
-            if kind == "partial":
-                value = self._evaluate_partial_uncached(mapping, reuse,
-                                                        carried)
-            else:
-                value = self._evaluate_uncached(mapping)
-            results[position] = self._finish(task, value)
+            value, fault = self._execute_uncached(kind, mapping, reuse,
+                                                  carried)
+            results[position] = self._finish(task, value, fault)
 
-    def _finish(self, task: tuple,
-                value: EvaluatedMapping | None) -> EvaluatedMapping | None:
-        """Store a freshly computed result in both cache layers."""
+    def _execute_uncached(self, kind: str, mapping: Mapping,
+                          reuse: dict[int, float] | None,
+                          carried: dict[int, frozenset] | None
+                          ) -> tuple[EvaluatedMapping | None, str | None]:
+        """One logical evaluation under the retry policy.
+
+        Returns ``(result, fault_category)``. Retryable failures (an
+        injected transient fault, an infrastructure hiccup) are retried
+        with backoff up to ``policy.max_attempts``; a retry that
+        succeeds leaves the evaluation counters identical to a clean
+        run (the evaluation is counted once, re-attempts under
+        ``fault_retries``). Exhausted retries classify the candidate as
+        infeasible-by-fault — ``(None, category)`` — which callers must
+        never cache. Non-retryable failures propagate.
+        """
+        policy = self.policy
+        self.counters.mappings_evaluated += 1
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                active_fault_plan().maybe_raise("evaluate")
+                if kind == "partial":
+                    return self._evaluate_partial_uncached(
+                        mapping, reuse or {}, carried), None
+                return self._evaluate_uncached(mapping), None
+            except Exception as exc:
+                category = classify(exc)
+                if category not in RETRYABLE_CATEGORIES:
+                    raise
+                if attempt >= policy.max_attempts:
+                    self.counters.faulted_evaluations += 1
+                    self._metrics.incr(f"faulted.{category}")
+                    self.tracer.event("evaluation_faulted",
+                                      category=category, attempts=attempt)
+                    return None, category
+                self.counters.fault_retries += 1
+                self._metrics.incr("retries")
+                self.tracer.event("evaluation_retry", category=category,
+                                  attempt=attempt)
+                time.sleep(policy.backoff_for(attempt))
+
+    def _finish(self, task: tuple, value: EvaluatedMapping | None,
+                fault: str | None = None) -> EvaluatedMapping | None:
+        """Store a freshly computed result in both cache layers.
+
+        A fault-caused ``None`` (retries exhausted, deadline fired) is
+        *not* a fact about the mapping and is never cached — the
+        candidate stays evaluable in later rounds and later runs.
+        """
         kind, mapping, reuse, carried = task
-        if self.use_cache:
+        if self.use_cache and fault is None:
             key = self._memory_key(kind, mapping, reuse, carried)
             self._store(kind)[key] = value
             self._persistent_put(kind, mapping, reuse, carried, value)
@@ -408,7 +467,8 @@ class MappingEvaluator:
                                   cost_cache=self._advisor_cost_cache)
 
     def _evaluate_uncached(self, mapping: Mapping) -> EvaluatedMapping | None:
-        self.counters.mappings_evaluated += 1
+        # ``mappings_evaluated`` is counted by ``_execute_uncached`` —
+        # once per logical evaluation, however many attempts it takes.
         with self.tracer.span("evaluate.exact") as span:
             schema = derive_schema(mapping)
             self._check_schema(mapping, schema)
@@ -455,7 +515,6 @@ class MappingEvaluator:
                                    carried: dict[int, frozenset] | None
                                    ) -> EvaluatedMapping | None:
         carried = carried or {}
-        self.counters.mappings_evaluated += 1
         with self.tracer.span("evaluate.partial",
                               reused=len(reuse)) as span:
             schema = derive_schema(mapping)

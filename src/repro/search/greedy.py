@@ -23,18 +23,28 @@ Ablation switches (used by the Fig. 7–9 experiments):
 
 from __future__ import annotations
 
+import dataclasses
+from pathlib import Path
+
+from ..errors import CheckpointError, MappingError
 from ..mapping import (CollectedStats, Mapping, RepetitionMerge,
                        Transformation, UnionDistribute, UnionFactorize,
                        enumerate_transformations, hybrid_inlining)
 from ..obs import NullTracer, Tracer, get_tracer
+from ..resilience import CheckpointStore, note_suppressed
 from ..workload import Workload
 from ..xsd import SchemaTree
-from .cache import EvaluationCache
+from .cache import EvaluationCache, problem_digest
 from .candidate_merging import CandidateMerger
 from .candidate_selection import CandidateSelector, CandidateSet, apply_splits
 from .cost_derivation import CostDerivation
-from .evaluator import EvaluatedMapping, MappingEvaluator
+from .evaluator import EvaluatedMapping, MappingEvaluator, mapping_digest
 from .result import DesignResult, SearchCounters, Stopwatch
+
+
+def _counters_dict(counters: SearchCounters) -> dict:
+    return {f.name: getattr(counters, f.name)
+            for f in dataclasses.fields(counters)}
 
 
 class GreedySearch:
@@ -52,7 +62,10 @@ class GreedySearch:
                  max_rounds: int = 25,
                  tracer: Tracer | NullTracer | None = None,
                  jobs: int | None = None,
-                 cache: EvaluationCache | None = None):
+                 cache: EvaluationCache | None = None,
+                 checkpoint: CheckpointStore | str | Path | None = None,
+                 checkpoint_every: int = 1,
+                 resume: bool = False):
         if merging not in ("greedy", "none", "exhaustive"):
             raise ValueError(f"unknown merging mode {merging!r}")
         self.tree = tree
@@ -70,6 +83,11 @@ class GreedySearch:
         self.tracer = tracer if tracer is not None else get_tracer()
         self.jobs = jobs
         self.cache = cache
+        if isinstance(checkpoint, (str, Path)):
+            checkpoint = CheckpointStore(checkpoint, tracer=self.tracer)
+        self.checkpoint = checkpoint
+        self.checkpoint_every = max(1, int(checkpoint_every))
+        self.resume = resume
         self.counters = SearchCounters()
 
     # ------------------------------------------------------------------
@@ -98,42 +116,61 @@ class GreedySearch:
             evaluator.close()
 
     def _run_with(self, evaluator: MappingEvaluator) -> DesignResult:
-        with self.tracer.span("select_candidates") as span:
-            candidates = self._select_candidates()
-            span.set("splits", len(candidates.splits))
-            span.set("merges", len(candidates.merges))
-            span.set("implicit_unions", len(candidates.implicit_unions))
-        with self.tracer.span("merge_candidates",
-                              mode=self.merging) as span:
-            splits = self._merge_split_candidates(candidates)
-            span.set("split_pool", len(splits))
-        m0, applied_splits = apply_splits(self.base_mapping, splits)
-        with self.tracer.span("evaluate_base"):
-            base_eval = evaluator.evaluate(self.base_mapping)
-        with self.tracer.span("evaluate_m0",
-                              splits_applied=len(applied_splits)):
-            current = evaluator.evaluate(m0)
-        if current is None:
-            # Fall back to the unsplit base mapping.
-            current = base_eval
-            applied_splits = []
-        assert current is not None
+        resumed = self._restore(evaluator)
+        if resumed is not None:
+            rounds = resumed["rounds"]
+            current = resumed["current"]
+            base_eval = resumed["base_eval"]
+            pool: list[Transformation] = resumed["pool"]
+            rejected_here: list[Transformation] = resumed["rejected_here"]
+            applied_log = resumed["applied_log"]
+            exact_rescue_used = resumed["exact_rescue_used"]
+        else:
+            with self.tracer.span("select_candidates") as span:
+                candidates = self._select_candidates()
+                span.set("splits", len(candidates.splits))
+                span.set("merges", len(candidates.merges))
+                span.set("implicit_unions", len(candidates.implicit_unions))
+            with self.tracer.span("merge_candidates",
+                                  mode=self.merging) as span:
+                splits = self._merge_split_candidates(candidates)
+                span.set("split_pool", len(splits))
+            m0, applied_splits = apply_splits(self.base_mapping, splits)
+            with self.tracer.span("evaluate_base"):
+                base_eval = evaluator.evaluate(self.base_mapping)
+            with self.tracer.span("evaluate_m0",
+                                  splits_applied=len(applied_splits)):
+                current = evaluator.evaluate(m0)
+            if current is None:
+                # Fall back to the unsplit base mapping.
+                current = base_eval
+                applied_splits = []
+            assert current is not None
 
-        pool: list[Transformation] = list(candidates.merges)
-        for transformation in applied_splits:
-            inverse = self._inverse(transformation)
-            if inverse is not None:
-                pool.append(inverse)
-        applied_log = [str(t) for t in applied_splits]
-        rounds = 0
-        exact_rescue_used = False
-        # Candidates whose round win was overturned by the exact
-        # re-check *against the current mapping*. Their derived costs
-        # were only stale relative to this state, so they stay in the
-        # pool and become eligible again as soon as the mapping changes
-        # (dropping them permanently used to lose later-round wins).
-        rejected_here: list[Transformation] = []
+            pool = list(candidates.merges)
+            for transformation in applied_splits:
+                inverse = self._inverse(transformation)
+                if inverse is not None:
+                    pool.append(inverse)
+            applied_log = [str(t) for t in applied_splits]
+            rounds = 0
+            exact_rescue_used = False
+            # Candidates whose round win was overturned by the exact
+            # re-check *against the current mapping*. Their derived costs
+            # were only stale relative to this state, so they stay in the
+            # pool and become eligible again as soon as the mapping
+            # changes (dropping them permanently used to lose later-round
+            # wins).
+            rejected_here = []
         while rounds < self.max_rounds:
+            # Snapshot at the round boundary: a kill anywhere inside the
+            # round resumes from its start and replays it identically.
+            if rounds % self.checkpoint_every == 0:
+                self._save_checkpoint(
+                    evaluator, rounds=rounds, current=current,
+                    base_eval=base_eval, pool=pool,
+                    rejected_here=rejected_here, applied_log=applied_log,
+                    exact_rescue_used=exact_rescue_used)
             rounds += 1
             with self.tracer.span("round", index=rounds,
                                   pool=len(pool)) as round_span:
@@ -219,6 +256,67 @@ class GreedySearch:
         )
 
     # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    def _problem_key(self) -> str:
+        """Everything that must match for a checkpoint to be resumable."""
+        settings = (self.use_selection, self.include_subsumed, self.merging,
+                    self.derivation.enabled, self.cmax, self.coverage,
+                    self.max_rounds)
+        return "|".join([
+            problem_digest(self.workload, self.collected, self.storage_bound),
+            mapping_digest(self.base_mapping), repr(settings)])
+
+    def _save_checkpoint(self, evaluator: MappingEvaluator, **loop_state
+                         ) -> None:
+        if self.checkpoint is None:
+            return
+        # One pickle for the whole snapshot: shared references (e.g.
+        # ``rejected_here`` members aliasing ``pool`` members, which the
+        # round loop compares by identity) survive the round-trip.
+        state = {
+            "algorithm": "greedy",
+            "problem_key": self._problem_key(),
+            "counters": _counters_dict(self.counters),
+            # The evaluator memo rides along so every cache-hit (and
+            # thus derivation) decision after resume matches the
+            # uninterrupted run.
+            "memo": evaluator._cache,
+            "partial_memo": evaluator._partial_cache,
+            "advisor_costs": evaluator._advisor_cost_cache,
+            **loop_state,
+        }
+        if self.checkpoint.save(state):
+            self.counters.checkpoints_written += 1
+            self.tracer.event("checkpoint_saved",
+                              rounds=loop_state["rounds"])
+
+    def _restore(self, evaluator: MappingEvaluator) -> dict | None:
+        if self.checkpoint is None or not self.resume:
+            return None
+        state = self.checkpoint.load()
+        if state is None:
+            return None
+        if state.get("algorithm") != "greedy":
+            raise CheckpointError(
+                f"checkpoint at {self.checkpoint.path} belongs to a "
+                f"{state.get('algorithm')!r} search, not greedy")
+        if state.get("problem_key") != self._problem_key():
+            raise CheckpointError(
+                f"checkpoint at {self.checkpoint.path} was written for a "
+                "different problem (workload, statistics, bound, base "
+                "mapping, or search settings changed)")
+        for name, value in state["counters"].items():
+            if hasattr(self.counters, name):
+                setattr(self.counters, name, value)
+        evaluator._cache = state["memo"]
+        evaluator._partial_cache = state["partial_memo"]
+        evaluator._advisor_cost_cache = state["advisor_costs"]
+        self.tracer.event("checkpoint_resumed", rounds=state["rounds"])
+        self.tracer.metrics("checkpoint").incr("resumes")
+        return state
+
+    # ------------------------------------------------------------------
     def _select_candidates(self) -> CandidateSet:
         if self.use_selection:
             selector = CandidateSelector(self.base_mapping, self.collected,
@@ -301,7 +399,11 @@ class GreedySearch:
             self.counters.transformations_searched += 1
             try:
                 mapping = candidate.validate_applied(current.mapping)
-            except Exception:
+            except MappingError as exc:
+                # Inapplicable against the current mapping (e.g. its
+                # target was merged away in an earlier round) — skip the
+                # candidate, never the whole round.
+                note_suppressed(exc, "greedy.validate_applied", self.tracer)
                 continue
             if mapping.signature() == current.mapping.signature():
                 continue

@@ -14,12 +14,18 @@ of-magnitude speed-up is measured (Figs. 5 and 6).
 
 from __future__ import annotations
 
+import dataclasses
+from pathlib import Path
+
+from ..errors import CheckpointError, MappingError
 from ..mapping import (CollectedStats, Mapping, enumerate_transformations,
                        hybrid_inlining)
 from ..obs import NullTracer, Tracer, get_tracer
+from ..resilience import CheckpointStore, note_suppressed
 from ..workload import Workload
 from ..xsd import SchemaTree
-from .evaluator import EvaluatedMapping, MappingEvaluator
+from .cache import problem_digest
+from .evaluator import EvaluatedMapping, MappingEvaluator, mapping_digest
 from .result import DesignResult, SearchCounters, Stopwatch
 
 
@@ -34,7 +40,10 @@ class NaiveGreedySearch:
                  max_rounds: int = 25,
                  include_subsumed: bool = True,
                  tracer: Tracer | NullTracer | None = None,
-                 jobs: int | None = None):
+                 jobs: int | None = None,
+                 checkpoint: CheckpointStore | str | Path | None = None,
+                 checkpoint_every: int = 1,
+                 resume: bool = False):
         self.tree = tree
         self.workload = workload
         self.collected = collected
@@ -48,6 +57,11 @@ class NaiveGreedySearch:
         self.include_subsumed = include_subsumed
         self.tracer = tracer if tracer is not None else get_tracer()
         self.jobs = jobs
+        if isinstance(checkpoint, (str, Path)):
+            checkpoint = CheckpointStore(checkpoint, tracer=self.tracer)
+        self.checkpoint = checkpoint
+        self.checkpoint_every = max(1, int(checkpoint_every))
+        self.resume = resume
         self.counters = SearchCounters()
 
     def run(self) -> DesignResult:
@@ -83,13 +97,74 @@ class NaiveGreedySearch:
         finally:
             evaluator.close()
 
+    # ------------------------------------------------------------------
+    # Checkpoint / resume (mirrors GreedySearch; see docs/resilience.md)
+    # ------------------------------------------------------------------
+    def _problem_key(self) -> str:
+        settings = (self.default_split_count, self.max_rounds,
+                    self.include_subsumed)
+        return "|".join([
+            problem_digest(self.workload, self.collected, self.storage_bound),
+            mapping_digest(self.base_mapping), repr(settings)])
+
+    def _save_checkpoint(self, evaluator: MappingEvaluator, rounds: int,
+                         current: EvaluatedMapping,
+                         applied: list[str]) -> None:
+        if self.checkpoint is None:
+            return
+        state = {
+            "algorithm": "naive-greedy",
+            "problem_key": self._problem_key(),
+            "counters": {f.name: getattr(self.counters, f.name)
+                         for f in dataclasses.fields(self.counters)},
+            "advisor_costs": evaluator._advisor_cost_cache,
+            "rounds": rounds,
+            "current": current,
+            "applied": applied,
+        }
+        if self.checkpoint.save(state):
+            self.counters.checkpoints_written += 1
+            self.tracer.event("checkpoint_saved", rounds=rounds)
+
+    def _restore(self, evaluator: MappingEvaluator) -> dict | None:
+        if self.checkpoint is None or not self.resume:
+            return None
+        state = self.checkpoint.load()
+        if state is None:
+            return None
+        if state.get("algorithm") != "naive-greedy":
+            raise CheckpointError(
+                f"checkpoint at {self.checkpoint.path} belongs to a "
+                f"{state.get('algorithm')!r} search, not naive-greedy")
+        if state.get("problem_key") != self._problem_key():
+            raise CheckpointError(
+                f"checkpoint at {self.checkpoint.path} was written for a "
+                "different problem (workload, statistics, bound, base "
+                "mapping, or search settings changed)")
+        for name, value in state["counters"].items():
+            if hasattr(self.counters, name):
+                setattr(self.counters, name, value)
+        evaluator._advisor_cost_cache = state["advisor_costs"]
+        self.tracer.event("checkpoint_resumed", rounds=state["rounds"])
+        self.tracer.metrics("checkpoint").incr("resumes")
+        return state
+
     def _run_with(self, evaluator: MappingEvaluator) -> DesignResult:
-        current = evaluator.evaluate(self.base_mapping)
-        if current is None:
-            raise RuntimeError("base mapping is infeasible for the workload")
-        applied: list[str] = []
-        rounds = 0
+        resumed = self._restore(evaluator)
+        if resumed is not None:
+            rounds = resumed["rounds"]
+            current = resumed["current"]
+            applied = resumed["applied"]
+        else:
+            current = evaluator.evaluate(self.base_mapping)
+            if current is None:
+                raise RuntimeError(
+                    "base mapping is infeasible for the workload")
+            applied = []
+            rounds = 0
         while rounds < self.max_rounds:
+            if rounds % self.checkpoint_every == 0:
+                self._save_checkpoint(evaluator, rounds, current, applied)
             rounds += 1
             with self.tracer.span("round", index=rounds) as round_span:
                 best: tuple[float, str, EvaluatedMapping] | None = None
@@ -104,7 +179,8 @@ class NaiveGreedySearch:
                     self.counters.transformations_searched += 1
                     try:
                         mapping = transformation.apply(current.mapping)
-                    except Exception:
+                    except MappingError as exc:
+                        note_suppressed(exc, "naive.apply", self.tracer)
                         continue
                     work.append((transformation, mapping))
                 evaluations = evaluator.evaluate_many(

@@ -35,10 +35,13 @@ import os
 import pickle
 from concurrent.futures import (Executor, ProcessPoolExecutor,
                                 ThreadPoolExecutor)
+from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
-from ..obs import NULL_TRACER, NullTracer, Tracer
+from ..errors import InjectedFault
+from ..obs import NULL_TRACER, NullTracer, Tracer, get_tracer
+from ..resilience import RetryPolicy, active_fault_plan, install_fault_plan
 from .result import SearchCounters
 
 __all__ = ["EvaluationPool", "EvaluationTask", "WorkerOutput",
@@ -50,7 +53,15 @@ __all__ = ["EvaluationPool", "EvaluationTask", "WorkerOutput",
 _COUNTER_FIELDS = ("transformations_searched", "mappings_evaluated",
                    "cache_hits", "cache_hits_infeasible",
                    "persistent_cache_hits", "tuner_calls",
-                   "optimizer_calls", "derived_query_costs")
+                   "optimizer_calls", "derived_query_costs",
+                   "fault_retries", "faulted_evaluations")
+
+#: Exceptions that mean "the pool infrastructure broke", as opposed to
+#: the evaluation itself failing. ``FuturesTimeout`` is handled apart —
+#: on 3.12+ it aliases the builtin ``TimeoutError`` (an ``OSError``
+#: subclass), so it must be caught before this tuple.
+_INFRA_ERRORS = (BrokenProcessPool, OSError, pickle.PicklingError,
+                 RuntimeError, InjectedFault)
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -59,10 +70,17 @@ def resolve_jobs(jobs: int | None = None) -> int:
     ``None`` defers to the environment: unset/``0``/``off`` mean serial;
     ``1``/``auto``/``on`` mean one worker per CPU (minimum 2, so the
     parallel machinery is exercised even on single-CPU runners); any
-    other integer is the exact worker count.
+    other integer is the exact worker count. An explicit non-positive
+    argument is an error (``--jobs 0`` used to be silently clamped to
+    serial, masking the typo).
     """
     if jobs is not None:
-        return max(1, int(jobs))
+        jobs = int(jobs)
+        if jobs < 1:
+            raise ValueError(
+                f"jobs must be >= 1 (got {jobs}); use jobs=1 for a serial "
+                "run, or leave it unset to follow REPRO_PARALLEL")
+        return jobs
     raw = os.environ.get("REPRO_PARALLEL", "").strip().lower()
     if raw in ("", "0", "off", "false", "no"):
         return 1
@@ -93,12 +111,18 @@ EvaluationTask = tuple
 
 @dataclass
 class WorkerOutput:
-    """Everything one evaluation produced, in picklable form."""
+    """Everything one evaluation produced, in picklable form.
+
+    ``fault`` marks a result dropped by the resilience policy (retries
+    exhausted, deadline fired) — such a ``None`` is *not* a fact about
+    the mapping and must never be cached by the absorbing side.
+    """
 
     result: object  # EvaluatedMapping | None
     counters: dict[str, int] = field(default_factory=dict)
     metrics: dict[str, dict[str, float]] = field(default_factory=dict)
     spans: list[dict] = field(default_factory=list)
+    fault: str | None = None
 
 
 def _counters_snapshot(counters: SearchCounters) -> dict[str, int]:
@@ -109,7 +133,9 @@ def run_task(evaluator, task: EvaluationTask, tracing: bool) -> WorkerOutput:
     """Execute one work unit on an evaluator and package the output.
 
     Shared by the process workers and the thread fallback; the caller
-    guarantees the evaluator is not used concurrently.
+    guarantees the evaluator is not used concurrently. The retry
+    policy runs *inside* the task (``_execute_uncached``), so its
+    counter deltas ride back with the rest.
     """
     from ..obs import trace_to_dicts
 
@@ -117,19 +143,16 @@ def run_task(evaluator, task: EvaluationTask, tracing: bool) -> WorkerOutput:
     tracer = Tracer() if tracing else NULL_TRACER
     evaluator.rebind_tracer(tracer)
     before = _counters_snapshot(evaluator.counters)
-    if kind == "partial":
-        result = evaluator._evaluate_partial_uncached(mapping, reuse, carried)
-    else:
-        result = evaluator._evaluate_uncached(mapping)
+    result, fault = evaluator._execute_uncached(kind, mapping, reuse, carried)
     after = _counters_snapshot(evaluator.counters)
     deltas = {name: after[name] - before[name]
               for name in _COUNTER_FIELDS if after[name] != before[name]}
     if not tracing:
-        return WorkerOutput(result=result, counters=deltas)
+        return WorkerOutput(result=result, counters=deltas, fault=fault)
     exported = trace_to_dicts(tracer)
     return WorkerOutput(result=result, counters=deltas,
                         metrics=tracer.metric_snapshot(),
-                        spans=exported["spans"])
+                        spans=exported["spans"], fault=fault)
 
 
 # ----------------------------------------------------------------------
@@ -141,14 +164,22 @@ _WORKER_TRACING = False
 
 
 def _init_worker(payload: bytes) -> None:
-    """Build this worker's evaluator once from the pickled context."""
+    """Build this worker's evaluator once from the pickled context.
+
+    The active fault plan travels as its spec string and is rebuilt
+    with fresh per-site counters, so fault injection reaches pool
+    workers too; the retry policy rides along so worker-side retries
+    follow the same bounds as serial ones.
+    """
     global _WORKER_EVALUATOR, _WORKER_TRACING
     from .evaluator import MappingEvaluator
 
-    workload, collected, storage_bound, tracing = pickle.loads(payload)
+    (workload, collected, storage_bound, tracing,
+     policy, fault_spec) = pickle.loads(payload)
+    install_fault_plan(fault_spec)
     _WORKER_EVALUATOR = MappingEvaluator(
         workload, collected, storage_bound,
-        use_cache=False, jobs=1, tracer=NULL_TRACER)
+        use_cache=False, jobs=1, tracer=NULL_TRACER, policy=policy)
     _WORKER_TRACING = tracing
 
 
@@ -163,25 +194,42 @@ def _pool_task(task: EvaluationTask) -> WorkerOutput:
 
 
 class EvaluationPool:
-    """A lazily created executor bound to one evaluation problem."""
+    """A lazily created executor bound to one evaluation problem.
+
+    Degradation chain: ``process`` → ``thread`` → ``inline``. Each
+    broken-infrastructure signal (a killed worker, a pickling failure,
+    an injected ``pool.submit`` fault, a fired deadline) steps the
+    backend down one tier; the batch always finishes, and because every
+    task is a pure function of pickled inputs, the results are
+    identical on every tier.
+    """
 
     def __init__(self, workload, collected, storage_bound,
-                 jobs: int, tracing: bool, backend: str | None = None):
+                 jobs: int, tracing: bool, backend: str | None = None,
+                 policy: RetryPolicy | None = None,
+                 counters: SearchCounters | None = None,
+                 tracer: Tracer | NullTracer | None = None):
         self.workload = workload
         self.collected = collected
         self.storage_bound = storage_bound
         self.jobs = jobs
         self.tracing = tracing
         self.backend = backend or parallel_backend()
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.counters = counters if counters is not None else SearchCounters()
+        self.tracer = tracer if tracer is not None else get_tracer()
         self._executor: Executor | None = None
 
     # ------------------------------------------------------------------
     def _ensure_executor(self) -> None:
-        if self._executor is not None:
+        if self._executor is not None or self.backend == "inline":
             return
         if self.backend == "process":
-            payload = pickle.dumps((self.workload, self.collected,
-                                    self.storage_bound, self.tracing))
+            plan = active_fault_plan()
+            payload = pickle.dumps(
+                (self.workload, self.collected, self.storage_bound,
+                 self.tracing, self.policy,
+                 plan.to_spec() if plan.enabled else None))
             try:
                 self._executor = ProcessPoolExecutor(
                     max_workers=self.jobs,
@@ -198,7 +246,7 @@ class EvaluationPool:
 
         evaluator = MappingEvaluator(
             self.workload, self.collected, self.storage_bound,
-            use_cache=False, jobs=1, tracer=NULL_TRACER)
+            use_cache=False, jobs=1, tracer=NULL_TRACER, policy=self.policy)
         return run_task(evaluator, task, self.tracing)
 
     def _serial_task(self, task: EvaluationTask) -> WorkerOutput:
@@ -208,25 +256,32 @@ class EvaluationPool:
     def run(self, tasks: list[EvaluationTask]) -> list[WorkerOutput]:
         """Evaluate all tasks; outputs are in submission order.
 
-        A broken process pool (a worker killed by the OS, a pickling
-        failure) degrades to in-process execution for the tasks that
-        did not complete — the batch always finishes. Evaluation-level
+        Broken infrastructure (a worker killed by the OS, a pickling
+        failure, an injected submission fault) degrades one backend
+        tier and finishes the batch in-process — the batch always
+        completes. A per-evaluation deadline (``policy.timeout``)
+        abandons a hung evaluation: that candidate comes back as
+        infeasible-by-fault (``fault="timeout"``, never cached, never
+        re-run in the main process — it might hang it too) and the
+        pool degrades away from the backend that hung. Evaluation-level
         exceptions (e.g. :class:`~repro.errors.CheckError`) propagate:
         they signal bugs, not infrastructure failures.
         """
-        self._ensure_executor()
-        assert self._executor is not None
-        submit = (self._executor.submit if self.backend == "thread"
-                  else None)
-        if submit is not None:
-            futures = [submit(self._thread_task, task) for task in tasks]
-        else:
-            try:
+        if self.backend == "inline":
+            return [self._serial_task(task) for task in tasks]
+        try:
+            active_fault_plan().maybe_raise("pool.submit")
+            self._ensure_executor()
+            assert self._executor is not None
+            if self.backend == "thread":
+                futures = [self._executor.submit(self._thread_task, task)
+                           for task in tasks]
+            else:
                 futures = [self._executor.submit(_pool_task, task)
                            for task in tasks]
-            except (BrokenProcessPool, RuntimeError, pickle.PicklingError):
-                self._degrade()
-                return [self._serial_task(task) for task in tasks]
+        except _INFRA_ERRORS:
+            self._degrade("submit")
+            return [self._serial_task(task) for task in tasks]
         outputs: list[WorkerOutput] = []
         degraded = False
         for index, future in enumerate(futures):
@@ -234,19 +289,34 @@ class EvaluationPool:
                 outputs.append(self._serial_task(tasks[index]))
                 continue
             try:
-                outputs.append(future.result())
-            except (BrokenProcessPool, OSError, pickle.PicklingError):
+                outputs.append(future.result(timeout=self.policy.timeout))
+            except FuturesTimeout:
+                # Abandon the hung evaluation; the candidate degrades
+                # to infeasible-by-fault and the search continues.
+                self.counters.timeouts += 1
+                self.counters.faulted_evaluations += 1
+                self.tracer.metrics("pool").incr("timeouts")
+                self.tracer.event("evaluation_timeout", index=index)
                 degraded = True
-                self._degrade()
+                self._degrade("timeout")
+                outputs.append(WorkerOutput(result=None, fault="timeout"))
+            except _INFRA_ERRORS:
+                degraded = True
+                self._degrade("worker")
                 outputs.append(self._serial_task(tasks[index]))
         return outputs
 
-    def _degrade(self) -> None:
+    def _degrade(self, reason: str) -> None:
         executor, self._executor = self._executor, None
         if executor is not None:
+            # wait=False: a hung worker must not hang the shutdown too.
             executor.shutdown(wait=False, cancel_futures=True)
-        self.backend = "thread"
-        self.jobs = 1
+        previous = self.backend
+        self.backend = "thread" if previous == "process" else "inline"
+        self.counters.pool_degradations += 1
+        self.tracer.metrics("pool").incr(f"degradations.{reason}")
+        self.tracer.event("pool_degraded", reason=reason,
+                          backend=previous, fallback=self.backend)
 
     def close(self) -> None:
         executor, self._executor = self._executor, None

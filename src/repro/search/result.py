@@ -28,6 +28,20 @@ class SearchCounters:
     tuner_calls: int = 0
     optimizer_calls: int = 0
     derived_query_costs: int = 0
+    #: Resilience accounting (see docs/resilience.md). A retried-and-
+    #: recovered evaluation counts once under ``mappings_evaluated`` and
+    #: once per re-attempt under ``fault_retries``, so a chaos run with
+    #: recoverable faults keeps the fault-free evaluation counters.
+    fault_retries: int = 0
+    #: Candidates dropped as infeasible-by-fault (retries exhausted or
+    #: deadline fired) — the search continued without them.
+    faulted_evaluations: int = 0
+    #: Pooled evaluations abandoned by the per-evaluation deadline.
+    timeouts: int = 0
+    #: Times the evaluation pool degraded a backend tier
+    #: (process -> thread -> in-process).
+    pool_degradations: int = 0
+    checkpoints_written: int = 0
     wall_time: float = 0.0
 
     def merge(self, other: "SearchCounters") -> None:
@@ -39,6 +53,11 @@ class SearchCounters:
         self.tuner_calls += other.tuner_calls
         self.optimizer_calls += other.optimizer_calls
         self.derived_query_costs += other.derived_query_costs
+        self.fault_retries += other.fault_retries
+        self.faulted_evaluations += other.faulted_evaluations
+        self.timeouts += other.timeouts
+        self.pool_degradations += other.pool_degradations
+        self.checkpoints_written += other.checkpoints_written
         self.wall_time += other.wall_time
 
 

@@ -19,10 +19,11 @@ would make the split a large win.
 from __future__ import annotations
 
 from ..engine import Index
-from ..errors import CheckError, SearchError, TranslationError
+from ..errors import MappingError, SearchError, SQLError, TranslationError
 from ..mapping import (CollectedStats, Mapping, enumerate_transformations,
                        hybrid_inlining)
 from ..obs import NullTracer, Tracer, get_tracer
+from ..resilience import note_suppressed
 from ..workload import Workload
 from ..xsd import SchemaTree
 from .evaluator import MappingEvaluator, build_stats_only_database
@@ -84,7 +85,8 @@ class TwoStepSearch:
                     self.counters.transformations_searched += 1
                     try:
                         mapping = transformation.apply(current_mapping)
-                    except Exception:
+                    except MappingError as exc:
+                        note_suppressed(exc, "twostep.apply", self.tracer)
                         continue
                     cost = self._logical_cost(mapping)
                     if cost is None:
@@ -152,7 +154,8 @@ class TwoStepSearch:
         self.counters.mappings_evaluated += 1
         try:
             schema = derive_schema(mapping)
-        except Exception:
+        except MappingError as exc:
+            note_suppressed(exc, "twostep.derive_schema", self.tracer)
             return None
         db = build_stats_only_database(schema, self.collected,
                                        tracer=self.tracer)
@@ -171,9 +174,11 @@ class TwoStepSearch:
         for sql, weight in translator_queries:
             try:
                 planned = db.estimate(sql, extra_indexes=default_indexes)
-            except CheckError:
-                raise  # a static-analysis violation is never "infeasible"
-            except Exception:
+            except SQLError as exc:
+                # An unplannable query makes the mapping infeasible for
+                # step 1; anything else (CheckError, injected faults)
+                # still propagates — those signal bugs, not infeasibility.
+                note_suppressed(exc, "twostep.estimate", self.tracer)
                 return None
             self.counters.optimizer_calls += 1
             total += weight * planned.est_cost

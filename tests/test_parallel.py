@@ -102,7 +102,14 @@ class TestResolveJobs:
     def test_explicit_argument_wins(self, monkeypatch):
         monkeypatch.setenv("REPRO_PARALLEL", "8")
         assert resolve_jobs(3) == 3
-        assert resolve_jobs(0) == 1
+
+    @pytest.mark.parametrize("jobs", [0, -1])
+    def test_explicit_non_positive_rejected(self, monkeypatch, jobs):
+        # ``--jobs 0`` used to be silently clamped to a serial run,
+        # masking the typo; now it is a loud error.
+        monkeypatch.setenv("REPRO_PARALLEL", "8")
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            resolve_jobs(jobs)
 
     def test_unset_means_serial(self, monkeypatch):
         monkeypatch.delenv("REPRO_PARALLEL", raising=False)
@@ -201,6 +208,36 @@ class TestEvaluationCache:
         assert ev.counters.persistent_cache_hits == 0
         assert ev.counters.mappings_evaluated == 1
         assert len(cache.entries()) == 2
+
+    def test_problem_digest_stable_across_processes(self, small_problem):
+        """The joint-presence stats are keyed by frozensets; their repr
+        order follows string hash randomization, so the digest must
+        canonicalize dict keys or warm cache hits (and checkpoint
+        resume) break across interpreter runs."""
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        bundle, workload = small_problem
+        local = problem_digest(workload, bundle.stats, bundle.storage_bound)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        script = (
+            "from repro.experiments import DatasetBundle\n"
+            "from repro.search import problem_digest\n"
+            "from repro.workload import Workload\n"
+            "bundle = DatasetBundle.dblp(scale=150, seed=11)\n"
+            "workload = Workload.from_strings('w', "
+            "['/dblp/inproceedings/title'])\n"
+            "print(problem_digest(workload, bundle.stats, "
+            "bundle.storage_bound))\n")
+        for hashseed in ("1", "2"):
+            proc = subprocess.run(
+                [sys.executable, "-c", script], capture_output=True,
+                text=True, check=True,
+                env={**os.environ, "PYTHONPATH": src,
+                     "PYTHONHASHSEED": hashseed})
+            assert proc.stdout.strip() == local
 
     def test_corrupt_entry_is_a_miss(self, small_problem, tmp_path):
         bundle, workload = small_problem

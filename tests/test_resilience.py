@@ -1,0 +1,360 @@
+"""Fault injection, retry/degradation policy, and chaos determinism.
+
+The contract under test: a seeded fault plan whose faults are all
+*retryable* must leave a search's :class:`DesignResult` — and its
+evaluation counters — identical to a fault-free run, at ``jobs=1`` and
+``jobs=4``; non-retryable paths must degrade loudly (counters, metrics)
+but never crash the search or poison a cache.
+"""
+
+import pytest
+
+from repro.errors import InjectedFault
+from repro.experiments import DatasetBundle
+from repro.mapping import hybrid_inlining
+from repro.obs import Tracer
+from repro.resilience import (NULL_PLAN, FaultPlan, FaultRule, RetryPolicy,
+                              classify, install_fault_plan)
+from repro.search import (CacheKey, EvaluationCache, GreedySearch,
+                          MappingEvaluator, mapping_digest)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_faults():
+    """Every test starts and ends with fault injection disabled."""
+    install_fault_plan(NULL_PLAN)
+    yield
+    install_fault_plan(NULL_PLAN)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    bundle = DatasetBundle.dblp(scale=150, seed=11)
+    workload = bundle.workload_generator(seed=5).generate(4)
+    return bundle, workload
+
+
+def _fingerprint(result):
+    return (mapping_digest(result.mapping), tuple(result.applied),
+            result.estimated_cost, result.configuration.describe())
+
+
+# ----------------------------------------------------------------------
+# FaultPlan mechanics
+# ----------------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_spec_round_trip(self):
+        plan = FaultPlan.from_spec(
+            "seed=42;evaluate:0.2:transient;cache.write:1:torn;"
+            "whatif:0.1:hang:0.5;advisor:1:fatal:0:7")
+        assert plan.seed == 42
+        assert plan.rules["evaluate"].rate == 0.2
+        assert plan.rules["cache.write"].kind == "torn"
+        assert plan.rules["whatif"].duration == 0.5
+        assert plan.rules["advisor"].after == 7
+        rebuilt = FaultPlan.from_spec(plan.to_spec())
+        assert rebuilt.seed == plan.seed
+        assert rebuilt.rules == plan.rules
+
+    def test_same_seed_same_sequence(self):
+        plan = FaultPlan([FaultRule("evaluate", 0.3)], seed=9)
+        first = [plan.fire("evaluate") is not None for _ in range(200)]
+        plan.reset()
+        second = [plan.fire("evaluate") is not None for _ in range(200)]
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_sites_do_not_perturb_each_other(self):
+        solo = FaultPlan([FaultRule("evaluate", 0.3)], seed=9)
+        both = FaultPlan([FaultRule("evaluate", 0.3),
+                          FaultRule("whatif", 0.5)], seed=9)
+        solo_fires = [solo.fire("evaluate") is not None for _ in range(100)]
+        both_fires = []
+        for _ in range(100):
+            both.fire("whatif")
+            both_fires.append(both.fire("evaluate") is not None)
+        assert solo_fires == both_fires
+
+    def test_after_threshold_is_exact(self):
+        plan = FaultPlan([FaultRule("evaluate", 1.0, "fatal", after=3)])
+        fires = [plan.fire("evaluate") is not None for _ in range(5)]
+        assert fires == [False, False, False, True, True]
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_spec("evaluate:2.0")
+        with pytest.raises(ValueError):
+            FaultPlan.from_spec("evaluate:0.5:explode")
+        with pytest.raises(ValueError):
+            FaultPlan.from_spec("evaluate")
+
+    def test_null_plan_never_fires(self):
+        assert not NULL_PLAN.enabled
+        assert NULL_PLAN.fire("evaluate") is None
+        NULL_PLAN.maybe_raise("evaluate")  # no-op
+
+
+class TestClassify:
+    def test_buckets(self):
+        import pickle
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.errors import (CheckError, EvaluationTimeout,
+                                  MappingError, TranslationError)
+
+        assert classify(InjectedFault("s", retryable=True)) == "transient"
+        assert classify(InjectedFault("s", retryable=False)) == "fatal"
+        assert classify(EvaluationTimeout("late")) == "timeout"
+        assert classify(TimeoutError()) == "timeout"  # 3.12: is an OSError
+        assert classify(TranslationError("no")) == "infeasible"
+        assert classify(MappingError("no")) == "inapplicable"
+        assert classify(CheckError("bug")) == "fatal"
+        assert classify(BrokenProcessPool()) == "infrastructure"
+        assert classify(OSError()) == "infrastructure"
+        assert classify(pickle.PicklingError()) == "infrastructure"
+        assert classify(ValueError()) == "fatal"
+
+
+# ----------------------------------------------------------------------
+# Retry policy at the evaluator
+# ----------------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_exhausted_retries_become_infeasible_by_fault(self, problem):
+        bundle, workload = problem
+        install_fault_plan(FaultPlan([FaultRule("evaluate", 1.0)]))
+        evaluator = MappingEvaluator(
+            workload, bundle.stats, bundle.storage_bound,
+            policy=RetryPolicy(max_attempts=3, backoff=0.0))
+        mapping = hybrid_inlining(bundle.tree)
+        assert evaluator.evaluate(mapping) is None
+        counters = evaluator.counters
+        assert counters.mappings_evaluated == 1
+        assert counters.fault_retries == 2
+        assert counters.faulted_evaluations == 1
+        # A fault-caused None is never cached: the candidate stays
+        # evaluable once the faults stop.
+        install_fault_plan(NULL_PLAN)
+        assert evaluator.cached(mapping) is None
+        assert evaluator.evaluate(mapping) is not None
+
+    def test_recovered_retry_is_counter_invisible(self, problem):
+        bundle, workload = problem
+        mapping = hybrid_inlining(bundle.tree)
+        clean = MappingEvaluator(workload, bundle.stats,
+                                 bundle.storage_bound)
+        clean_result = clean.evaluate(mapping)
+        # Half the attempts fail (seeded, deterministic); with 4
+        # attempts per logical evaluation, recovery is the common case.
+        install_fault_plan(FaultPlan([FaultRule("evaluate", 0.5)], seed=1))
+        chaotic = MappingEvaluator(
+            workload, bundle.stats, bundle.storage_bound, use_cache=False,
+            policy=RetryPolicy(max_attempts=4, backoff=0.0))
+        result = None
+        attempts = 0
+        while result is None and attempts < 20:
+            attempts += 1
+            result, _ = chaotic._execute_uncached(
+                "exact", mapping, None, None)
+        assert result is not None
+        assert result.total_cost == clean_result.total_cost
+        # Evaluations are counted once per logical evaluation, not per
+        # attempt: retries only ever show up under fault_retries.
+        assert chaotic.counters.mappings_evaluated == attempts
+        assert chaotic.counters.fault_retries >= 1
+
+    def test_fatal_faults_propagate(self, problem):
+        bundle, workload = problem
+        install_fault_plan(FaultPlan(
+            [FaultRule("evaluate", 1.0, "fatal")]))
+        evaluator = MappingEvaluator(workload, bundle.stats,
+                                     bundle.storage_bound)
+        with pytest.raises(InjectedFault):
+            evaluator.evaluate(hybrid_inlining(bundle.tree))
+
+
+# ----------------------------------------------------------------------
+# Chaos determinism: retryable faults leave the result unchanged
+# ----------------------------------------------------------------------
+
+
+class TestChaosDeterminism:
+    @pytest.fixture(scope="class")
+    def baseline(self, problem):
+        bundle, workload = problem
+        return _fingerprint(GreedySearch(
+            bundle.tree, workload, bundle.stats,
+            bundle.storage_bound).run())
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_greedy_under_transient_faults(self, problem, baseline, jobs,
+                                           monkeypatch):
+        bundle, workload = problem
+        monkeypatch.setenv("REPRO_RETRY_ATTEMPTS", "6")
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0")
+        install_fault_plan("seed=13;evaluate:0.1:transient")
+        chaotic = GreedySearch(bundle.tree, workload, bundle.stats,
+                               bundle.storage_bound, jobs=jobs).run()
+        assert _fingerprint(chaotic) == baseline
+        if jobs == 1:
+            # Deterministic at jobs=1: the seeded plan must actually
+            # have fired (otherwise this test proves nothing).
+            assert chaotic.counters.fault_retries > 0
+        assert chaotic.counters.faulted_evaluations == 0
+
+
+# ----------------------------------------------------------------------
+# Deadline + pool degradation
+# ----------------------------------------------------------------------
+
+
+def _distinct_variants(base, count):
+    """``count`` mappings with pairwise-distinct signatures, base first."""
+    from repro.mapping import enumerate_transformations
+
+    variants = [base]
+    signatures = {base.signature()}
+    for transformation in enumerate_transformations(base):
+        try:
+            mapping = transformation.apply(base)
+        except Exception:
+            continue
+        if mapping.signature() in signatures:
+            continue
+        signatures.add(mapping.signature())
+        variants.append(mapping)
+        if len(variants) == count:
+            break
+    assert len(variants) == count
+    return variants
+
+
+class TestTimeoutDegradation:
+    def test_hung_worker_times_out_and_pool_degrades(self, problem):
+        bundle, workload = problem
+        # Every worker's second-and-later evaluation hangs well past the
+        # deadline; the first per worker stays fast. With 3 tasks on 2
+        # workers, some worker must draw a second task.
+        install_fault_plan(FaultPlan(
+            [FaultRule("evaluate", 1.0, "hang", duration=3.0, after=1)]))
+        evaluator = MappingEvaluator(
+            workload, bundle.stats, bundle.storage_bound, jobs=2,
+            policy=RetryPolicy(max_attempts=1, backoff=0.0, timeout=0.75))
+        try:
+            variants = _distinct_variants(hybrid_inlining(bundle.tree), 3)
+            results = evaluator.evaluate_many(variants)
+        finally:
+            evaluator.close()
+        counters = evaluator.counters
+        # At least one task hit the deadline, the pool stepped down a
+        # tier, and the batch still completed with aligned results.
+        assert len(results) == len(variants)
+        assert counters.timeouts >= 1
+        assert counters.pool_degradations >= 1
+        assert counters.faulted_evaluations >= 1
+
+    def test_timed_out_candidate_is_not_cached(self, problem):
+        bundle, workload = problem
+        install_fault_plan(FaultPlan(
+            [FaultRule("evaluate", 1.0, "hang", duration=2.0)]))
+        evaluator = MappingEvaluator(
+            workload, bundle.stats, bundle.storage_bound, jobs=2,
+            policy=RetryPolicy(max_attempts=1, backoff=0.0, timeout=0.5))
+        try:
+            base, other = _distinct_variants(hybrid_inlining(bundle.tree), 2)
+            results = evaluator.evaluate_many([base, other])
+            assert None in results
+            install_fault_plan(NULL_PLAN)
+            assert evaluator.cached(base) is None or \
+                evaluator.cached(other) is None
+        finally:
+            evaluator.close()
+
+
+# ----------------------------------------------------------------------
+# Persistent-cache resilience
+# ----------------------------------------------------------------------
+
+
+class TestCacheResilience:
+    def test_torn_write_recovers_as_miss(self, tmp_path):
+        cache = EvaluationCache(tmp_path)
+        key = CacheKey(problem="p" * 40, mapping="m" * 12)
+        install_fault_plan(FaultPlan(
+            [FaultRule("cache.write", 1.0, "torn")]))
+        cache.put(key, {"cost": 123.0})
+        install_fault_plan(NULL_PLAN)
+        found, value = cache.get(key)
+        assert not found and value is None
+        assert cache.recoveries() == 1
+        assert "corrupt entries recovered: 1" in cache.report()
+        # The torn entry was unlinked: a clean re-put heals the store.
+        cache.put(key, {"cost": 123.0})
+        assert cache.get(key) == (True, {"cost": 123.0})
+
+    def test_write_fault_degrades_to_noop(self, tmp_path):
+        cache = EvaluationCache(tmp_path)
+        key = CacheKey(problem="p" * 40, mapping="m" * 12)
+        install_fault_plan(FaultPlan([FaultRule("cache.write", 1.0)]))
+        cache.put(key, 1)
+        install_fault_plan(NULL_PLAN)
+        assert cache.get(key) == (False, None)
+
+    def test_read_fault_degrades_to_miss(self, tmp_path):
+        cache = EvaluationCache(tmp_path)
+        key = CacheKey(problem="p" * 40, mapping="m" * 12)
+        cache.put(key, 7)
+        install_fault_plan(FaultPlan([FaultRule("cache.read", 1.0)]))
+        assert cache.get(key) == (False, None)
+        install_fault_plan(NULL_PLAN)
+        assert cache.get(key) == (True, 7)
+
+    def test_clear_resets_recovery_accounting(self, tmp_path):
+        cache = EvaluationCache(tmp_path)
+        key = CacheKey(problem="p" * 40, mapping="m" * 12)
+        install_fault_plan(FaultPlan(
+            [FaultRule("cache.write", 1.0, "torn")]))
+        cache.put(key, 1)
+        install_fault_plan(NULL_PLAN)
+        cache.get(key)
+        assert cache.recoveries() == 1
+        cache.clear()
+        assert cache.recoveries() == 0
+
+    def test_torn_writes_never_poison_a_warm_search(self, problem,
+                                                    tmp_path):
+        """A cold run writing torn entries must not change the warm
+        rerun's result: corrupt entries read back as misses and are
+        recomputed."""
+        bundle, workload = problem
+        kwargs = dict(storage_bound=bundle.storage_bound)
+        clean = GreedySearch(bundle.tree, workload, bundle.stats,
+                             **kwargs).run()
+        install_fault_plan("seed=3;cache.write:0.5:torn")
+        cold = GreedySearch(bundle.tree, workload, bundle.stats,
+                            cache=EvaluationCache(tmp_path), **kwargs).run()
+        install_fault_plan(NULL_PLAN)
+        warm = GreedySearch(bundle.tree, workload, bundle.stats,
+                            cache=EvaluationCache(tmp_path), **kwargs).run()
+        assert _fingerprint(cold) == _fingerprint(clean)
+        assert _fingerprint(warm) == _fingerprint(clean)
+
+
+# ----------------------------------------------------------------------
+# Suppressed-failure accounting (the narrowed except blocks)
+# ----------------------------------------------------------------------
+
+
+class TestSuppressedFailures:
+    def test_note_suppressed_counts_and_classifies(self):
+        from repro.errors import MappingError
+        from repro.resilience import note_suppressed
+
+        tracer = Tracer()
+        category = note_suppressed(MappingError("nope"), "greedy.x", tracer)
+        assert category == "inapplicable"
+        metrics = tracer.metric_snapshot()["resilience"]
+        assert metrics["suppressed.inapplicable.greedy.x"] == 1
