@@ -1,0 +1,64 @@
+"""Cost-model calibration — estimates vs measured SQLite wall-clock.
+
+The figures elsewhere in this suite compare designs by the engine's
+deterministic cost units. This benchmark closes the loop against a real
+DBMS: every design (greedy, two-step, and the logical-only baseline) is
+realized in SQLite — bulk-load, real ``CREATE INDEX``, populated view
+tables — and its workload is timed with warmup and repetition. The
+paper's ranking claims only transfer if estimated cost and measured
+time *rank designs the same way*, so the assertion is a positive
+Spearman rank correlation on DBLP.
+
+Run standalone with ``--smoke`` for the quick CI variant::
+
+    PYTHONPATH=src python benchmarks/bench_calibration.py --smoke
+"""
+
+import sys
+
+from repro.backends import run_calibration
+from repro.experiments import DatasetBundle
+
+
+def _calibrate(scale: int, queries: int, repeat: int, seed: int = 7):
+    bundle = DatasetBundle.dblp(scale=scale, seed=seed)
+    workload = bundle.workload_generator(seed=seed).generate(queries)
+    return run_calibration(bundle, workload,
+                           algorithms=("greedy", "two-step"),
+                           repeat=repeat, warmup=1)
+
+
+def _assert_calibrated(report) -> None:
+    assert report.design_rank_correlation > 0.0, \
+        "estimated cost must rank designs like measured SQLite time"
+    # The tuned designs must beat doing nothing about physical design,
+    # in estimates and on the real DBMS alike.
+    baseline = report.design("logical-only")
+    for label in ("greedy", "two-step"):
+        tuned = report.design(label)
+        assert tuned.estimated_cost <= baseline.estimated_cost
+        assert tuned.measured_seconds <= baseline.measured_seconds * 1.5, \
+            f"{label} must not measurably regress on SQLite"
+
+
+def test_calibration_rank_correlation(benchmark, emit):
+    report = benchmark.pedantic(
+        lambda: _calibrate(scale=600, queries=8, repeat=3),
+        rounds=1, iterations=1)
+    emit(report.describe())
+    _assert_calibrated(report)
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    report = _calibrate(scale=150 if smoke else 600,
+                        queries=5 if smoke else 8,
+                        repeat=2 if smoke else 3)
+    print(report.describe())
+    _assert_calibrated(report)
+    print("calibration OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

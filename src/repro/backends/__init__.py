@@ -1,0 +1,46 @@
+"""Execution backends: the in-memory engine and real DBMSs behind one
+protocol, plus differential validation and cost-model calibration.
+
+See docs/backends.md.
+"""
+
+from .base import EngineBackend, QueryTiming, SQLBackend, timed_runs
+from .calibrate import (CalibrationReport, DesignPoint, QueryPoint,
+                        logical_only_design, measure_on_sqlite,
+                        run_calibration, spearman)
+from .dialect import (DialectError, create_index_sql, create_table_sql,
+                      create_view_table_sql, insert_sql, quote_identifier,
+                      render_query, sqlite_type)
+from .diff import (DiffReport, Divergence, compare_backends, multiset_diff,
+                   normalize_row, validate_design)
+from .sqlite import BackendError, SQLiteBackend
+
+__all__ = [
+    "SQLBackend",
+    "EngineBackend",
+    "SQLiteBackend",
+    "QueryTiming",
+    "timed_runs",
+    "BackendError",
+    "DialectError",
+    "render_query",
+    "quote_identifier",
+    "sqlite_type",
+    "create_table_sql",
+    "create_index_sql",
+    "create_view_table_sql",
+    "insert_sql",
+    "DiffReport",
+    "Divergence",
+    "compare_backends",
+    "validate_design",
+    "multiset_diff",
+    "normalize_row",
+    "CalibrationReport",
+    "DesignPoint",
+    "QueryPoint",
+    "run_calibration",
+    "measure_on_sqlite",
+    "logical_only_design",
+    "spearman",
+]

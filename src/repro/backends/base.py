@@ -1,0 +1,131 @@
+"""The execution-backend protocol and the in-memory reference backend.
+
+Everywhere else in this library, "execution time" is the deterministic
+cost accumulated by the engine's :class:`~repro.engine.cost.CostCounter`.
+The paper's headline numbers (Sec. 1.1, Sec. 7 / Fig. 4), however, are
+*measured* wall-clock times on a real DBMS. :class:`SQLBackend` is the
+seam that closes that gap: anything that can
+
+1. bulk-load a :class:`~repro.mapping.MappedSchema`'s shredded tables,
+2. apply a physical :class:`~repro.physdesign.Configuration`,
+3. execute a translated :class:`~repro.sqlast.Query`, and
+4. time repeated executions,
+
+can serve as an execution backend. :class:`EngineBackend` adapts the
+in-memory engine to the protocol (its "seconds" are cost units);
+:class:`repro.backends.sqlite.SQLiteBackend` is the real-DBMS
+implementation. The differential validator and the calibration harness
+are written against the protocol only.
+"""
+
+from __future__ import annotations
+
+import statistics as _statistics
+import time
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from ..engine import Database
+from ..mapping import MappedSchema, load_documents
+from ..obs import NullTracer, Tracer, get_tracer
+from ..physdesign import Configuration, materialize
+from ..sqlast import Query
+
+
+@dataclass
+class QueryTiming:
+    """Wall-clock measurements of one query on one backend."""
+
+    seconds: float                    # the headline number (median run)
+    runs: list[float] = field(default_factory=list)
+    rows: int = 0
+
+    @property
+    def best(self) -> float:
+        return min(self.runs) if self.runs else self.seconds
+
+
+@runtime_checkable
+class SQLBackend(Protocol):
+    """What the validator and calibration harness need from a backend."""
+
+    name: str
+
+    def load(self, schema: MappedSchema, docs) -> None:
+        """Shred the documents and bulk-load every mapped table."""
+        ...  # pragma: no cover - protocol
+
+    def apply_configuration(self, configuration: Configuration) -> None:
+        """Build the physical design (indexes, materialized views)."""
+        ...  # pragma: no cover - protocol
+
+    def execute(self, query: Query) -> list[tuple]:
+        """Run a translated query and return its rows (in result order)."""
+        ...  # pragma: no cover - protocol
+
+    def time_query(self, query: Query, repeat: int = 3,
+                   warmup: int = 1) -> QueryTiming:
+        """Execute with warmup, then ``repeat`` timed runs."""
+        ...  # pragma: no cover - protocol
+
+    def close(self) -> None:
+        ...  # pragma: no cover - protocol
+
+
+def timed_runs(run, repeat: int, warmup: int,
+               clock=time.perf_counter) -> QueryTiming:
+    """Shared warmup/repetition protocol: median of ``repeat`` runs."""
+    rows: list[tuple] = []
+    for _ in range(max(0, warmup)):
+        rows = run()
+    runs: list[float] = []
+    for _ in range(max(1, repeat)):
+        started = clock()
+        rows = run()
+        runs.append(clock() - started)
+    return QueryTiming(seconds=_statistics.median(runs), runs=runs,
+                       rows=len(rows))
+
+
+class EngineBackend:
+    """The in-memory cost-model engine behind the backend protocol.
+
+    ``time_query`` reports the deterministic executed *cost* (not
+    seconds) so differential runs stay reproducible; the calibration
+    harness uses :meth:`estimate`/:meth:`executed_cost` explicitly and
+    never mixes the units.
+    """
+
+    name = "engine"
+
+    def __init__(self, tracer: Tracer | NullTracer | None = None):
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.db = Database(name="engine-backend", tracer=self.tracer)
+        self._metrics = self.tracer.metrics("backend.engine")
+
+    def load(self, schema: MappedSchema, docs) -> None:
+        with self.tracer.span("backend.load", backend=self.name):
+            load_documents(self.db, schema, docs)
+            self._metrics.incr("tables_loaded", len(schema.table_names))
+
+    def apply_configuration(self, configuration: Configuration) -> None:
+        with self.tracer.span("backend.ddl", backend=self.name,
+                              structures=len(configuration)):
+            materialize(self.db, configuration)
+
+    def execute(self, query: Query) -> list[tuple]:
+        return self.db.execute(query).rows
+
+    def executed_cost(self, query: Query) -> float:
+        """Deterministic executed cost (the engine's native measure)."""
+        return self.db.execute(query).cost
+
+    def time_query(self, query: Query, repeat: int = 3,
+                   warmup: int = 1) -> QueryTiming:
+        with self.tracer.span("backend.query", backend=self.name):
+            result = self.db.execute(query)
+        return QueryTiming(seconds=result.cost, runs=[result.cost],
+                           rows=len(result.rows))
+
+    def close(self) -> None:
+        pass

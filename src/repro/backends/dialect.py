@@ -1,0 +1,169 @@
+"""SQLite dialect: render ``repro.sqlast`` trees and catalog DDL.
+
+``str(query)`` already yields SQL that SQLite mostly accepts, but the
+dialect adapter is deliberately explicit about everything where "mostly"
+is not good enough:
+
+* **Identifier quoting** — every table/column/alias is ``"quoted"`` so
+  schema-derived names can never collide with SQLite keywords.
+* **Type affinity** — the engine stores DATE values as Python strings
+  and BOOLEAN as 0/1 integers, so DATE maps to TEXT affinity (SQLite's
+  own NUMERIC affinity for ``DATE`` would coerce year-like strings to
+  integers and re-order mixed columns) and BOOLEAN to INTEGER.
+  DECIMAL maps to REAL, VARCHAR to TEXT.
+* **Covering indexes** — SQLite has no ``INCLUDE`` clause; included
+  columns are appended to the key so the index still covers the query.
+* **Materialized structures** — join views become populated tables
+  (``CREATE TABLE ... AS SELECT``), matching how the engine's size and
+  cost accounting treats them.
+
+Ordering semantics line up without translation work: SQLite orders
+``NULL < numeric < text`` ascending, exactly the engine's
+``encode_key`` order, and ``ORDER BY <position>`` after ``UNION ALL``
+is supported natively.
+"""
+
+from __future__ import annotations
+
+from ..engine import Index, JoinViewDefinition, SQLType, Table
+from ..errors import ReproError
+from ..sqlast import (And, BoolExpr, ColumnRef, Comparison, Exists, IsNull,
+                      Literal, Or, Query, Scalar, Select, SelectItem,
+                      TableRef)
+
+
+class DialectError(ReproError):
+    """An AST node the dialect cannot render."""
+
+
+def quote_identifier(name: str) -> str:
+    return '"' + name.replace('"', '""') + '"'
+
+
+SQLITE_TYPES = {
+    SQLType.INTEGER: "INTEGER",
+    SQLType.DECIMAL: "REAL",
+    SQLType.VARCHAR: "TEXT",
+    SQLType.DATE: "TEXT",      # engine stores dates as strings
+    SQLType.BOOLEAN: "INTEGER",  # engine compares/sorts them numerically
+}
+
+
+def sqlite_type(sql_type: SQLType) -> str:
+    return SQLITE_TYPES[sql_type]
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+def render_scalar(expr: Scalar) -> str:
+    if isinstance(expr, Literal):
+        # Literal.__str__ already renders SQLite-compatible constants
+        # (doubled quotes, 1/0 booleans, repr'd finite floats, NULL).
+        return str(expr)
+    if isinstance(expr, ColumnRef):
+        column = quote_identifier(expr.column)
+        if expr.table:
+            return f"{quote_identifier(expr.table)}.{column}"
+        return column
+    raise DialectError(f"cannot render scalar {expr!r}")
+
+
+def render_condition(expr: BoolExpr) -> str:
+    if isinstance(expr, Comparison):
+        return (f"{render_scalar(expr.left)} {expr.op.value} "
+                f"{render_scalar(expr.right)}")
+    if isinstance(expr, IsNull):
+        suffix = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"{render_scalar(expr.operand)} {suffix}"
+    if isinstance(expr, And):
+        return " AND ".join(f"({render_condition(i)})" for i in expr.items)
+    if isinstance(expr, Or):
+        return " OR ".join(f"({render_condition(i)})" for i in expr.items)
+    if isinstance(expr, Exists):
+        return f"EXISTS ({render_select(expr.subquery)})"
+    raise DialectError(f"cannot render condition {expr!r}")
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+
+def _render_table_ref(ref: TableRef) -> str:
+    table = quote_identifier(ref.table)
+    if ref.alias and ref.alias != ref.table:
+        return f"{table} AS {quote_identifier(ref.alias)}"
+    return table
+
+
+def _render_item(item: SelectItem) -> str:
+    rendered = render_scalar(item.expr)
+    if item.alias:
+        return f"{rendered} AS {quote_identifier(item.alias)}"
+    return rendered
+
+
+def render_select(select: Select) -> str:
+    parts = ["SELECT " + ", ".join(_render_item(i) for i in select.items)]
+    parts.append(
+        "FROM " + ", ".join(_render_table_ref(t) for t in select.from_tables))
+    if select.where is not None:
+        parts.append("WHERE " + render_condition(select.where))
+    return " ".join(parts)
+
+
+def render_query(query: Query) -> str:
+    """One translated query as a single SQLite statement."""
+    body = " UNION ALL ".join(render_select(s) for s in query.selects)
+    if query.order_by:
+        body += " ORDER BY " + ", ".join(str(p) for p in query.order_by)
+    return body
+
+
+# ----------------------------------------------------------------------
+# DDL / DML
+# ----------------------------------------------------------------------
+
+
+def create_table_sql(table: Table) -> str:
+    columns = []
+    for column in table.columns:
+        decl = f"{quote_identifier(column.name)} {sqlite_type(column.sql_type)}"
+        if table.primary_key == column.name:
+            decl += " PRIMARY KEY"
+        columns.append(decl)
+    return (f"CREATE TABLE {quote_identifier(table.name)} "
+            f"({', '.join(columns)})")
+
+
+def insert_sql(table: Table) -> str:
+    names = ", ".join(quote_identifier(c.name) for c in table.columns)
+    marks = ", ".join("?" for _ in table.columns)
+    return (f"INSERT INTO {quote_identifier(table.name)} ({names}) "
+            f"VALUES ({marks})")
+
+
+def create_index_sql(index: Index) -> str:
+    # No INCLUDE in SQLite: appending the included columns to the key
+    # preserves the covering property (at a modest key-width cost).
+    columns = ", ".join(quote_identifier(c) for c in index.all_columns)
+    return (f"CREATE INDEX {quote_identifier(index.name)} "
+            f"ON {quote_identifier(index.table_name)} ({columns})")
+
+
+def create_view_table_sql(name: str, definition: JoinViewDefinition) -> str:
+    """A join view, materialized as a populated table."""
+    items = []
+    for view_col, (source_table, source_col) in definition.columns:
+        alias = "P" if source_table == definition.parent_table else "C"
+        items.append(f"{alias}.{quote_identifier(source_col)} "
+                     f"AS {quote_identifier(view_col)}")
+    return (
+        f"CREATE TABLE {quote_identifier(name)} AS "
+        f"SELECT {', '.join(items)} "
+        f"FROM {quote_identifier(definition.parent_table)} AS P, "
+        f"{quote_identifier(definition.child_table)} AS C "
+        f"WHERE C.{quote_identifier(definition.child_fk_column)} = P.\"ID\"")

@@ -1,0 +1,142 @@
+"""Cross-backend differential validation.
+
+Runs every translated workload query on two backends and asserts
+identical row *multisets* (the engine only guarantees order up to the
+ORDER BY key, so equal-key rows may legally interleave differently).
+Divergences carry the offending query, its SQL on both backends, and
+the missing/extra rows — enough to turn each one into a minimal
+regression test.
+
+This is the differential oracle the tentpole exists for: any cost-model
+shortcut, translation bug, or executor semantics drift that changes
+*results* (not just speed) shows up as a non-empty report.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..obs import NullTracer, Tracer, get_tracer
+from ..physdesign import Configuration
+from ..sqlast import Query
+from .base import EngineBackend, SQLBackend
+from .dialect import render_query
+from .sqlite import SQLiteBackend
+
+
+def normalize_row(row: tuple) -> tuple:
+    """Collapse representation differences that are not semantic.
+
+    * booleans — the engine yields Python bools, SQLite yields 0/1;
+    * integral floats — a REAL column round-trips ``3.0`` while the
+      engine may carry the original int through an untyped slot.
+    """
+    out = []
+    for value in row:
+        if isinstance(value, bool):
+            out.append(int(value))
+        elif isinstance(value, float) and value.is_integer():
+            out.append(int(value))
+        else:
+            out.append(value)
+    return tuple(out)
+
+
+def multiset_diff(reference_rows: list[tuple],
+                  candidate_rows: list[tuple]
+                  ) -> tuple[list[tuple], list[tuple]]:
+    """(missing, extra) of candidate vs reference, as normalized rows."""
+    reference = Counter(normalize_row(r) for r in reference_rows)
+    candidate = Counter(normalize_row(r) for r in candidate_rows)
+    missing = list((reference - candidate).elements())
+    extra = list((candidate - reference).elements())
+    return missing, extra
+
+
+@dataclass
+class Divergence:
+    """One query whose row multisets differ across backends."""
+
+    index: int
+    query: Query
+    sql: str
+    missing: list[tuple]   # rows the reference produced, candidate lacks
+    extra: list[tuple]     # rows the candidate produced, reference lacks
+    reference_rows: int = 0
+    candidate_rows: int = 0
+
+    def describe(self) -> str:
+        lines = [f"query #{self.index}: {self.reference_rows} vs "
+                 f"{self.candidate_rows} rows",
+                 f"  SQL: {self.sql}"]
+        for row in self.missing[:5]:
+            lines.append(f"  missing: {row}")
+        for row in self.extra[:5]:
+            lines.append(f"  extra:   {row}")
+        return "\n".join(lines)
+
+
+@dataclass
+class DiffReport:
+    """Outcome of one differential run."""
+
+    reference: str
+    candidate: str
+    queries_checked: int = 0
+    divergences: list[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def describe(self) -> str:
+        head = (f"differential {self.reference} vs {self.candidate}: "
+                f"{self.queries_checked} queries, "
+                f"{len(self.divergences)} divergences")
+        if self.ok:
+            return head
+        return "\n".join([head] + [d.describe() for d in self.divergences])
+
+
+def compare_backends(reference: SQLBackend, candidate: SQLBackend,
+                     queries: list[Query],
+                     tracer: Tracer | NullTracer | None = None) -> DiffReport:
+    """Run each query on both (already loaded) backends and compare."""
+    tracer = tracer if tracer is not None else get_tracer()
+    report = DiffReport(reference=reference.name, candidate=candidate.name)
+    with tracer.span("backend.diff", reference=reference.name,
+                     candidate=candidate.name, queries=len(queries)) as span:
+        for index, query in enumerate(queries):
+            reference_rows = reference.execute(query)
+            candidate_rows = candidate.execute(query)
+            report.queries_checked += 1
+            missing, extra = multiset_diff(reference_rows, candidate_rows)
+            if missing or extra:
+                report.divergences.append(Divergence(
+                    index=index, query=query, sql=render_query(query),
+                    missing=missing, extra=extra,
+                    reference_rows=len(reference_rows),
+                    candidate_rows=len(candidate_rows)))
+        span.set("divergences", len(report.divergences))
+    return report
+
+
+def validate_design(schema, configuration: Configuration | None, docs,
+                    queries: list[Query],
+                    tracer: Tracer | NullTracer | None = None) -> DiffReport:
+    """Load engine + SQLite from the same documents and diff the queries.
+
+    The one-call form the test suite and CI use: build both backends,
+    load identically, apply the configuration to both, compare every
+    query, and tear down.
+    """
+    configuration = configuration or Configuration()
+    engine = EngineBackend(tracer=tracer)
+    with SQLiteBackend(tracer=tracer) as sqlite_backend:
+        engine.load(schema, docs)
+        sqlite_backend.load(schema, docs)
+        engine.apply_configuration(configuration)
+        sqlite_backend.apply_configuration(configuration)
+        return compare_backends(engine, sqlite_backend, queries,
+                                tracer=tracer)

@@ -1,0 +1,167 @@
+"""A real-DBMS execution backend on stdlib ``sqlite3``.
+
+Loads a mapped schema's shredded tables into one SQLite database
+(in-memory by default), applies a physical configuration (real
+``CREATE INDEX``; join views and partitions as populated tables), and
+executes translated queries with warmup/repetition wall-clock timing.
+
+Data loading goes through :func:`repro.mapping.shred_typed_rows` — the
+same shred-and-coerce step the in-memory engine uses — so both backends
+see byte-identical rows, and any result divergence is a semantics bug,
+never a loading artifact.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from ..engine import Database
+from ..errors import ReproError
+from ..mapping import MappedSchema, shred_typed_rows
+from ..obs import NullTracer, Tracer, get_tracer
+from ..physdesign import Configuration
+from ..sqlast import Query
+from .base import QueryTiming, timed_runs
+from .dialect import (create_index_sql, create_table_sql,
+                      create_view_table_sql, insert_sql, render_query)
+
+
+class BackendError(ReproError):
+    """A backend operation failed (DDL, load, or execution)."""
+
+
+def _storable(value):
+    # sqlite3 binds bools as 0/1 already; this keeps loaded bytes
+    # identical to what comparisons below assume.
+    if isinstance(value, bool):
+        return int(value)
+    return value
+
+
+class SQLiteBackend:
+    """:class:`~repro.backends.base.SQLBackend` over stdlib sqlite3."""
+
+    name = "sqlite"
+
+    def __init__(self, path: str = ":memory:",
+                 tracer: Tracer | NullTracer | None = None):
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self._metrics = self.tracer.metrics("backend.sqlite")
+        self.connection = sqlite3.connect(path)
+        self.connection.execute("PRAGMA synchronous = OFF")
+        self.connection.execute("PRAGMA journal_mode = MEMORY")
+        self._tables: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def load(self, schema: MappedSchema, docs) -> None:
+        """Shred the documents and bulk-load every mapped table."""
+        with self.tracer.span("backend.load", backend=self.name) as span:
+            typed = shred_typed_rows(schema, docs)
+            loaded = 0
+            for table in schema.to_engine_tables():
+                rows = typed.get(table.name, [])
+                loaded += self._create_and_fill(table, rows)
+            self.connection.commit()
+            span.set("rows", loaded)
+            self._metrics.incr("rows_loaded", loaded)
+
+    def load_from_database(self, db: Database) -> None:
+        """Copy an already-loaded engine database's base tables."""
+        with self.tracer.span("backend.load", backend=self.name,
+                              source="engine") as span:
+            loaded = 0
+            for table in db.catalog.base_tables():
+                loaded += self._create_and_fill(table, table.rows or [])
+            self.connection.commit()
+            span.set("rows", loaded)
+            self._metrics.incr("rows_loaded", loaded)
+
+    def _create_and_fill(self, table, rows: list[tuple]) -> int:
+        try:
+            self.connection.execute(create_table_sql(table))
+            if rows:
+                self.connection.executemany(
+                    insert_sql(table),
+                    [tuple(_storable(v) for v in row) for row in rows])
+        except sqlite3.Error as exc:
+            raise BackendError(
+                f"loading table {table.name!r} failed: {exc}") from exc
+        self._tables.append(table.name)
+        self._metrics.incr("tables_loaded")
+        return len(rows)
+
+    # ------------------------------------------------------------------
+    # Physical design
+    # ------------------------------------------------------------------
+    def apply_configuration(self, configuration: Configuration) -> None:
+        """CREATE INDEX / materialize join views, then ANALYZE."""
+        with self.tracer.span("backend.ddl", backend=self.name,
+                              indexes=len(configuration.indexes),
+                              views=len(configuration.views)):
+            try:
+                for view in configuration.views:
+                    self.connection.execute(
+                        create_view_table_sql(view.name, view.definition))
+                    self._metrics.incr("views_built")
+                for index in configuration.indexes:
+                    self.connection.execute(create_index_sql(index))
+                    self._metrics.incr("indexes_built")
+                self.connection.execute("ANALYZE")
+                self.connection.commit()
+            except sqlite3.Error as exc:
+                raise BackendError(
+                    f"applying configuration failed: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def sql_text(self, query: Query) -> str:
+        return render_query(query)
+
+    def execute(self, query: Query) -> list[tuple]:
+        return self.execute_sql(render_query(query))
+
+    def execute_sql(self, sql: str) -> list[tuple]:
+        with self.tracer.span("backend.query", backend=self.name):
+            try:
+                cursor = self.connection.execute(sql)
+                rows = cursor.fetchall()
+            except sqlite3.Error as exc:
+                raise BackendError(f"query failed: {exc}\nSQL: {sql}") from exc
+        self._metrics.incr("queries_executed")
+        return rows
+
+    def prepare(self, query: Query) -> None:
+        """Compile without running (dialect round-trip check)."""
+        sql = render_query(query)
+        try:
+            self.connection.execute(f"EXPLAIN {sql}").fetchall()
+        except sqlite3.Error as exc:
+            raise BackendError(
+                f"query does not prepare: {exc}\nSQL: {sql}") from exc
+
+    def time_query(self, query: Query, repeat: int = 3,
+                   warmup: int = 1) -> QueryTiming:
+        sql = render_query(query)
+        with self.tracer.span("backend.query", backend=self.name,
+                              timed=True) as span:
+            timing = timed_runs(
+                lambda: self.connection.execute(sql).fetchall(),
+                repeat=repeat, warmup=warmup)
+            span.set("seconds", timing.seconds)
+            span.set("rows", timing.rows)
+        self._metrics.incr("queries_timed")
+        return timing
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "SQLiteBackend":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

@@ -8,6 +8,7 @@ Commands
 ``query``      run an XPath query through translate + execute
 ``advise``     run the design search on a workload file
 ``experiment`` run one of the paper's experiments at a chosen scale
+``calibrate``  rank-correlate cost estimates with measured SQLite times
 
 Workload files for ``advise`` contain one entry per line::
 
@@ -319,9 +320,11 @@ def cmd_experiment(args, out=None) -> int:
     out = out or sys.stdout
     from .experiments import (DatasetBundle, TABLE1_HEADERS, characterize,
                               format_table, run_motivating_example)
+    backend = getattr(args, "backend", "engine")
     if args.name == "all":
         for name in ("table1", "e0", "split-count", "comparison"):
-            sub = argparse.Namespace(name=name, scale=args.scale)
+            sub = argparse.Namespace(name=name, scale=args.scale,
+                                     backend=backend)
             cmd_experiment(sub, out)
             print(file=out)
         return 0
@@ -341,7 +344,10 @@ def cmd_experiment(args, out=None) -> int:
                      bundle.workload_generator(seed=42).generate(
                          8, selectivity=(0.5, 1.0), projections=(5, 20))]
         comparison = compare_algorithms(
-            bundle, workloads, algorithms=("greedy", "two-step"))
+            bundle, workloads, algorithms=("greedy", "two-step"),
+            backend=backend)
+        if backend != "engine":
+            print(f"(costs measured on the {backend} backend)", file=out)
         print(comparison.fig4(), file=out)
         print(comparison.fig5(), file=out)
         return 0
@@ -361,6 +367,36 @@ def cmd_experiment(args, out=None) -> int:
               file=out)
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown experiment {args.name!r}")
+    return 0
+
+
+def cmd_calibrate(args, out=None) -> int:
+    out = out or sys.stdout
+    from .backends import run_calibration
+    from .experiments import DatasetBundle
+    storage_bound = (args.storage_bound_mb * 1024 * 1024
+                     if args.storage_bound_mb else None)
+    make_bundle = (DatasetBundle.dblp if args.dataset == "dblp"
+                   else DatasetBundle.movie)
+    kwargs = {"scale": args.scale, "seed": args.seed}
+    if storage_bound:
+        kwargs["storage_bound"] = storage_bound
+    bundle = make_bundle(**kwargs)
+    workload = bundle.workload_generator(seed=args.seed).generate(
+        args.queries)
+    report = run_calibration(bundle, workload,
+                             algorithms=tuple(args.algorithms),
+                             repeat=args.repeat, warmup=args.warmup)
+    print(report.describe(), file=out)
+    if args.min_correlation is not None:
+        if report.design_rank_correlation < args.min_correlation:
+            print(f"FAIL: design rank correlation "
+                  f"{report.design_rank_correlation:+.3f} below required "
+                  f"{args.min_correlation:+.3f}", file=out)
+            return 1
+        print(f"OK: design rank correlation "
+              f"{report.design_rank_correlation:+.3f} >= "
+              f"{args.min_correlation:+.3f}", file=out)
     return 0
 
 
@@ -489,7 +525,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("name", choices=["e0", "table1", "split-count",
                                         "comparison", "all"])
     p_exp.add_argument("--scale", type=int, default=1500)
+    p_exp.add_argument("--backend", choices=["engine", "sqlite"],
+                       default="engine",
+                       help="measure design costs on the deterministic "
+                            "engine (default) or on real SQLite "
+                            "wall-clock time (comparison experiment)")
     p_exp.set_defaults(func=cmd_experiment)
+
+    p_cal = sub.add_parser(
+        "calibrate",
+        help="rank-correlate cost estimates with measured SQLite times")
+    p_cal.add_argument("--dataset", choices=["dblp", "movie"],
+                       default="dblp")
+    p_cal.add_argument("--scale", type=int, default=300,
+                       help="dataset scale (default: 300)")
+    p_cal.add_argument("--queries", type=int, default=6,
+                       help="generated workload size (default: 6)")
+    p_cal.add_argument("--seed", type=int, default=7,
+                       help="dataset/workload seed (default: 7)")
+    p_cal.add_argument("--repeat", type=int, default=3,
+                       help="timed runs per query (median; default: 3)")
+    p_cal.add_argument("--warmup", type=int, default=1,
+                       help="untimed warmup runs per query (default: 1)")
+    p_cal.add_argument("--algorithms", nargs="+",
+                       choices=["greedy", "two-step"],
+                       default=["greedy", "two-step"],
+                       help="design searches to calibrate (the "
+                            "logical-only baseline always runs)")
+    p_cal.add_argument("--storage-bound-mb", type=int, default=None)
+    p_cal.add_argument("--min-correlation", type=float, default=None,
+                       metavar="R",
+                       help="exit non-zero unless the design rank "
+                            "correlation reaches R (CI gate)")
+    p_cal.set_defaults(func=cmd_calibrate)
     return parser
 
 

@@ -17,6 +17,7 @@ from typing import Callable
 from ..errors import ExecutionError, PlanError
 from ..sqlast import (And, BoolExpr, ColumnRef, Comparison, ComparisonOp,
                       Exists, IsNull, Literal, Or, Scalar)
+from .btree import encode_key
 
 Environment = dict[str, tuple]
 ColumnResolver = Callable[[ColumnRef], tuple[str, int]]
@@ -47,13 +48,18 @@ def _comparator(op: ComparisonOp) -> Callable[[object, object], bool]:
         if a is None or b is None:
             return False
         # Cross-type comparisons (e.g. INTEGER column vs numeric string
-        # literal from XPath) coerce to float when possible.
+        # literal from XPath) coerce to float when possible. When they
+        # cannot (a number against non-numeric text), fall back to the
+        # engine's total order — numbers before text — which is also
+        # SQLite's storage-class order and what the B+-tree uses for
+        # index seeks; a textual fallback here used to make seq-scan
+        # filters disagree with both.
         if type(a) is not type(b) and not (
                 isinstance(a, (int, float)) and isinstance(b, (int, float))):
             try:
                 a, b = float(a), float(b)
             except (TypeError, ValueError):
-                a, b = str(a), str(b)
+                a, b = encode_key((a,)), encode_key((b,))
         if op == ComparisonOp.EQ:
             return a == b
         if op == ComparisonOp.NE:

@@ -65,7 +65,10 @@ class ColumnStats:
         n_distinct = len({_sort_key(v) for v in non_null})
         width = None
         if is_string:
-            width = max(1, int(sum(len(str(v)) for v in non_null) / len(non_null)))
+            # Round half up: int() truncation systematically underpriced
+            # short string columns in storage-bound accounting.
+            mean = sum(len(str(v)) for v in non_null) / len(non_null)
+            width = max(1, int(math.floor(mean + 0.5)))
         buckets = min(n_buckets, len(non_null))
         boundaries = []
         for b in range(1, buckets + 1):
@@ -108,31 +111,72 @@ class ColumnStats:
         )
 
     @classmethod
-    def merged(cls, parts: list["ColumnStats"]) -> "ColumnStats":
-        """Combine stats of the same logical column split across tables."""
+    def merged(cls, parts: list["ColumnStats"],
+               n_buckets: int = _DEFAULT_BUCKETS) -> "ColumnStats":
+        """Combine stats of the same logical column split across tables.
+
+        The parts are treated as a *disjoint partition* of the merged
+        rows — the shape produced by repetition splits, type splits, and
+        union distributions — so distinct counts add (capped at the
+        non-null rows), widths average weighted by each part's non-null
+        row count, and the histogram is re-bucketed into equi-depth
+        buckets via quantiles over the parts' (boundary, mass) points.
+        """
         parts = [p for p in parts if p is not None]
         if not parts:
             return cls(row_count=0)
         row_count = sum(p.row_count for p in parts)
         null_count = sum(p.null_count for p in parts)
-        boundaries: list = []
-        for p in parts:
-            boundaries.extend(p.boundaries)
-        boundaries.sort(key=_sort_key)
         non_null = row_count - null_count
         with_min = [p for p in parts if p.min_value is not None]
-        widths = [p.avg_width for p in parts if p.avg_width is not None]
+        # Row-weighted width: an unweighted mean let a tiny overflow
+        # table drag a large inline column's width around (and vice
+        # versa). Weight by non-null rows, rounding half up.
+        weighted = [(p.avg_width, max(0, p.row_count - p.null_count))
+                    for p in parts if p.avg_width is not None]
+        width_mass = sum(w for _, w in weighted)
+        avg_width = (max(1, int(math.floor(
+            sum(a * w for a, w in weighted) / width_mass + 0.5)))
+            if width_mass else None)
+        # Each part boundary stands for ~bucket_rows rows of its part;
+        # re-bucketing via quantiles over that weighted point set keeps
+        # the merged histogram equi-depth even when the parts differ in
+        # size (concatenating boundaries did not).
+        points = sorted(
+            ((_sort_key(b), b, p.bucket_rows)
+             for p in parts for b in p.boundaries),
+            key=lambda point: point[0])
+        boundaries: list = []
+        bucket_rows = 0.0
+        if points:
+            mass = sum(w for _, _, w in points)
+            buckets = min(n_buckets, len(points))
+            if mass > 0:
+                cumulative = 0.0
+                filled = 0
+                for _, value, weight in points:
+                    cumulative += weight
+                    while (filled < buckets and
+                           cumulative >= (filled + 1) * mass / buckets - 1e-9):
+                        boundaries.append(value)
+                        filled += 1
+                while filled < buckets:  # float residue on the last bucket
+                    boundaries.append(points[-1][1])
+                    filled += 1
+            else:  # all-zero masses (degenerate scaled parts)
+                boundaries = [value for _, value, _ in points]
+            bucket_rows = non_null / len(boundaries) if boundaries else 0.0
         return cls(
             row_count=row_count,
             null_count=null_count,
-            n_distinct=min(non_null, max((p.n_distinct for p in parts), default=0)),
+            n_distinct=min(non_null, sum(p.n_distinct for p in parts)),
             min_value=(min((p.min_value for p in with_min), key=_sort_key)
                        if with_min else None),
             max_value=(max((p.max_value for p in with_min), key=_sort_key)
                        if with_min else None),
             boundaries=boundaries,
-            bucket_rows=(non_null / len(boundaries) if boundaries else 0.0),
-            avg_width=(int(sum(widths) / len(widths)) if widths else None),
+            bucket_rows=bucket_rows,
+            avg_width=avg_width,
         )
 
     # ------------------------------------------------------------------

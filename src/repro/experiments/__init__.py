@@ -5,7 +5,8 @@ from .ablations import (Fig7Row, Fig8Row, Fig9Row, fig7_table, fig8_tables,
 from .comparison import (ALGORITHMS, AlgorithmRun, ComparisonResult,
                          compare_algorithms)
 from .harness import (Baseline, DatasetBundle, measure_design,
-                      measure_workload, realize, tuned_hybrid_baseline)
+                      measure_workload, measure_workload_sqlite, realize,
+                      tuned_hybrid_baseline)
 from .motivating import MotivatingResult, run_motivating_example
 from .reporting import format_series, format_table
 from .split_count import (SplitCountPoint, SplitCountSweep,
@@ -18,6 +19,7 @@ __all__ = [
     "Baseline",
     "realize",
     "measure_workload",
+    "measure_workload_sqlite",
     "measure_design",
     "tuned_hybrid_baseline",
     "run_motivating_example",

@@ -124,17 +124,24 @@ def compare_algorithms(bundle: DatasetBundle, workloads: list[Workload],
                        algorithms: tuple[str, ...] = ALGORITHMS,
                        naive_max_queries: int = 10,
                        naive_max_rounds: int = 6,
-                       trace: bool = False) -> ComparisonResult:
+                       trace: bool = False,
+                       backend: str = "engine") -> ComparisonResult:
     """Run the algorithms on each workload and measure their designs.
 
     With ``trace=True`` each run gets its own :class:`repro.obs.Tracer`
     and the run's aggregated span summary is kept on
     :attr:`AlgorithmRun.trace_summary` (see
     :meth:`ComparisonResult.trace_report`).
+
+    ``backend`` selects what the Fig. 4 costs are measured on: the
+    deterministic engine (default) or wall-clock SQLite seconds
+    (``"sqlite"``). Either way the numbers are normalized to the tuned
+    hybrid baseline measured on the *same* backend, so the figures stay
+    comparable.
     """
     out = ComparisonResult(bundle_name=bundle.name)
     for workload in workloads:
-        baseline = tuned_hybrid_baseline(bundle, workload)
+        baseline = tuned_hybrid_baseline(bundle, workload, backend=backend)
         out.baselines[workload.name] = baseline
         for algorithm in algorithms:
             if algorithm == "naive-greedy" and \
@@ -144,7 +151,7 @@ def compare_algorithms(bundle: DatasetBundle, workloads: list[Workload],
             search = _make_search(algorithm, bundle, workload,
                                   naive_max_rounds, tracer=tracer)
             result = search.run()
-            measured = measure_design(result, bundle)
+            measured = measure_design(result, bundle, backend=backend)
             out.runs.append(AlgorithmRun(
                 algorithm=algorithm,
                 workload_name=workload.name,

@@ -97,8 +97,41 @@ def measure_workload(db: Database,
     return total
 
 
-def measure_design(result: DesignResult, bundle: DatasetBundle) -> float:
-    """Realize a search result on real data and measure the workload."""
+def measure_workload_sqlite(schema: MappedSchema,
+                            configuration: Configuration,
+                            sql_queries: list[tuple[Query, float]],
+                            docs: Document, repeat: int = 3,
+                            warmup: int = 1) -> float:
+    """Weighted measured wall-clock seconds of the workload on SQLite.
+
+    A fresh in-memory SQLite database per call: bulk-load, build the
+    physical design for real, then time every query with warmup and
+    repetition (median run). Unlike :func:`measure_workload` this is
+    *not* deterministic — it is the real-DBMS ground truth the engine's
+    cost units are calibrated against (``repro calibrate``).
+    """
+    from ..backends import SQLiteBackend
+    with SQLiteBackend() as backend:
+        backend.load(schema, docs)
+        backend.apply_configuration(configuration)
+        return sum(
+            weight * backend.time_query(query, repeat=repeat,
+                                        warmup=warmup).seconds
+            for query, weight in sql_queries)
+
+
+def measure_design(result: DesignResult, bundle: DatasetBundle,
+                   backend: str = "engine") -> float:
+    """Realize a search result on real data and measure the workload.
+
+    ``backend="engine"`` (default) reports deterministic cost units;
+    ``backend="sqlite"`` reports measured wall-clock seconds.
+    """
+    if backend == "sqlite":
+        return measure_workload_sqlite(result.schema, result.configuration,
+                                       result.sql_queries, bundle.docs)
+    if backend != "engine":
+        raise ValueError(f"unknown backend {backend!r}")
     db = realize(result.schema, result.configuration, bundle.docs)
     return measure_workload(db, result.sql_queries)
 
@@ -114,17 +147,22 @@ class Baseline:
     measured_cost: float
 
 
-def tuned_hybrid_baseline(bundle: DatasetBundle,
-                          workload: Workload) -> Baseline:
+def tuned_hybrid_baseline(bundle: DatasetBundle, workload: Workload,
+                          backend: str = "engine") -> Baseline:
     """Hybrid inlining with its own recommended physical design."""
     mapping = hybrid_inlining(bundle.tree)
     evaluator = MappingEvaluator(workload, bundle.stats,
                                  bundle.storage_bound)
     evaluated = evaluator.evaluate(mapping)
     assert evaluated is not None, "hybrid baseline must be feasible"
-    db = realize(evaluated.schema, evaluated.tuning.configuration,
-                 bundle.docs)
-    measured = measure_workload(db, evaluated.sql_queries)
+    if backend == "sqlite":
+        measured = measure_workload_sqlite(
+            evaluated.schema, evaluated.tuning.configuration,
+            evaluated.sql_queries, bundle.docs)
+    else:
+        db = realize(evaluated.schema, evaluated.tuning.configuration,
+                     bundle.docs)
+        measured = measure_workload(db, evaluated.sql_queries)
     return Baseline(
         schema=evaluated.schema,
         configuration=evaluated.tuning.configuration,

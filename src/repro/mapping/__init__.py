@@ -7,7 +7,7 @@ from .presets import fully_inlined, fully_split, hybrid_inlining, shared_inlinin
 from .relschema import (BranchCondition, ColumnSpec, LeafStorage,
                         MappedSchema, PartitionSpec, PresenceCondition,
                         TableGroup)
-from .shredder import Shredder, load_documents
+from .shredder import Shredder, load_documents, shred_typed_rows
 from .stats import (CollectedStats, StatsDeriver, collect_statistics,
                     derive_table_stats)
 from .transforms import (Associativity, Commutativity, Inline, Outline,
@@ -33,6 +33,7 @@ __all__ = [
     "fully_split",
     "Shredder",
     "load_documents",
+    "shred_typed_rows",
     "collect_statistics",
     "CollectedStats",
     "StatsDeriver",

@@ -264,24 +264,37 @@ class Shredder:
         raise ShreddingError(f"unknown condition {condition!r}")
 
 
+def shred_typed_rows(schema: MappedSchema, docs) -> dict[str, list[tuple]]:
+    """Shred documents into *typed* rows per table name.
+
+    Shredded values are text; this applies each column's SQL-type
+    coercion, producing the exact rows any execution backend (the
+    in-memory engine, SQLite, ...) should load. Sharing this step is
+    what makes cross-backend runs byte-identical at the data layer.
+    """
+    engine_tables = {t.name: t for t in schema.to_engine_tables()}
+    rows_by_table = Shredder(schema).shred(docs)
+    typed_by_table: dict[str, list[tuple]] = {}
+    for table_name, rows in rows_by_table.items():
+        coercers = [c.sql_type.coerce
+                    for c in engine_tables[table_name].columns]
+        typed_by_table[table_name] = [
+            tuple(coerce(v) for coerce, v in zip(coercers, row))
+            for row in rows]
+    return typed_by_table
+
+
 def load_documents(db, schema: MappedSchema, docs,
                    analyze: bool = True) -> None:
     """Shred documents and load (typed) rows into an engine database.
 
     Tables are created from the mapped schema if absent.
     """
-    from ..engine import Table  # local import to avoid cycles
-
     existing = set(db.catalog.tables)
     for table in schema.to_engine_tables():
         if table.name not in existing:
             db.register_table(table)
-    rows_by_table = Shredder(schema).shred(docs)
-    for table_name, rows in rows_by_table.items():
-        table = db.catalog.table(table_name)
-        coercers = [c.sql_type.coerce for c in table.columns]
-        typed = [tuple(coerce(v) for coerce, v in zip(coercers, row))
-                 for row in rows]
+    for table_name, typed in shred_typed_rows(schema, docs).items():
         db.insert_rows(table_name, typed)
     if analyze:
         db.analyze()

@@ -1,0 +1,410 @@
+"""Cross-backend tests: the SQLite backend, dialect round-trips,
+differential validation, and executor-divergence regression tests.
+
+The divergence regression tests in ``TestComparatorRegression`` were
+written against the *observed* disagreement before the fix landed (see
+the class docstring); they pin the engine to SQLite's semantics.
+"""
+
+import pytest
+
+from repro.backends import (CalibrationReport, DiffReport, EngineBackend,
+                            QueryTiming, SQLBackend, SQLiteBackend,
+                            compare_backends, create_index_sql,
+                            create_table_sql, insert_sql, multiset_diff,
+                            normalize_row, quote_identifier, render_query,
+                            run_calibration, spearman, timed_runs,
+                            validate_design)
+from repro.backends.sqlite import BackendError
+from repro.check.runtime import override_checks
+from repro.datasets import (dblp_schema, generate_dblp, generate_movies,
+                            movie_schema)
+from repro.engine import Column, Index, SQLType, Table
+from repro.engine.expressions import _comparator
+from repro.experiments import DatasetBundle
+from repro.mapping import (collect_statistics, derive_schema, fully_split,
+                           hybrid_inlining, shared_inlining)
+from repro.physdesign import Configuration
+from repro.search import GreedySearch
+from repro.sqlast import (ColumnRef, Comparison, ComparisonOp, IsNull,
+                          Literal, Or, Query, Select, SelectItem, TableRef)
+from repro.translate import Translator
+from repro.workload import WorkloadGenerator
+from repro.xpath import parse_xpath
+
+SCALE = 60
+SEED = 7
+
+PRESETS = {
+    "hybrid": hybrid_inlining,
+    "shared": shared_inlining,
+    "fully-split": fully_split,
+}
+
+
+@pytest.fixture(scope="module")
+def dblp_data():
+    tree = dblp_schema()
+    return tree, generate_dblp(SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def movie_data():
+    tree = movie_schema()
+    return tree, generate_movies(SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def hybrid_pair(dblp_data):
+    """Engine + SQLite loaded with the same shredded DBLP data."""
+    tree, docs = dblp_data
+    schema = derive_schema(hybrid_inlining(tree))
+    engine = EngineBackend()
+    engine.load(schema, docs)
+    sqlite_backend = SQLiteBackend()
+    sqlite_backend.load(schema, docs)
+    yield schema, engine, sqlite_backend
+    sqlite_backend.close()
+
+
+def _translate(schema, xpath: str) -> Query:
+    return Translator(schema).translate(parse_xpath(xpath))
+
+
+def _agree(engine, sqlite_backend, query: Query) -> tuple[int, int]:
+    engine_rows = engine.execute(query)
+    sqlite_rows = sqlite_backend.execute(query)
+    missing, extra = multiset_diff(engine_rows, sqlite_rows)
+    assert not missing and not extra, (
+        f"backends diverge on {render_query(query)}: "
+        f"missing={missing[:3]} extra={extra[:3]}")
+    return len(engine_rows), len(sqlite_rows)
+
+
+class TestComparatorRegression:
+    """Regression tests for the confirmed executor/SQLite divergence.
+
+    Before the fix, the engine's comparator fell back to *textual*
+    comparison when cross-type float coercion failed, so
+    ``year < '!x'`` on an INTEGER column matched nothing (``"1995" >
+    "!x"`` textually) while SQLite — which orders the INTEGER storage
+    class strictly below TEXT — matched every row. The engine's own
+    B+-tree ``encode_key`` already used numeric-below-text order, so
+    index seeks and sequential-scan filters disagreed *within* the
+    engine too. The comparator now follows ``encode_key``.
+    """
+
+    def test_integer_column_below_nonnumeric_text(self, hybrid_pair):
+        schema, engine, sqlite_backend = hybrid_pair
+        query = _translate(schema, '//inproceedings[year < "!x"]/title')
+        # The static analyzer rightly lints this as SQL005 (mixed type
+        # families); here the mixed comparison is the point.
+        with override_checks(False):
+            n_engine, _ = _agree(engine, sqlite_backend, query)
+        # Every row has a year, and numbers sort below text: all match.
+        assert n_engine > 0
+
+    def test_integer_column_never_ge_nonnumeric_text(self, hybrid_pair):
+        schema, engine, sqlite_backend = hybrid_pair
+        query = _translate(schema, '//inproceedings[year >= "!x"]/title')
+        with override_checks(False):
+            n_engine, n_sqlite = _agree(engine, sqlite_backend, query)
+        assert n_engine == 0 and n_sqlite == 0
+
+    def test_comparator_orders_numbers_below_text(self):
+        assert _comparator(ComparisonOp.LT)(1995, "!x")
+        assert not _comparator(ComparisonOp.GE)(1995, "!x")
+        assert not _comparator(ComparisonOp.EQ)(1995, "!x")
+        assert _comparator(ComparisonOp.NE)(1995, "!x")
+        assert _comparator(ComparisonOp.GT)("!x", 1995)
+
+    def test_comparator_still_coerces_numeric_strings(self):
+        assert _comparator(ComparisonOp.EQ)(1999, "1999.0")
+        assert _comparator(ComparisonOp.LT)(1999, "2000")
+
+    def test_comparator_null_always_false(self):
+        for op in ComparisonOp:
+            assert not _comparator(op)(None, 1)
+            assert not _comparator(op)("x", None)
+            assert not _comparator(op)(None, None)
+
+    def test_null_literal_comparison_matches_sqlite(self, hybrid_pair):
+        schema, engine, sqlite_backend = hybrid_pair
+        table = schema.to_engine_tables()[0]
+        column = table.columns[-1].name
+        query = Query(selects=(Select(
+            items=(SelectItem(ColumnRef("T", column)),),
+            from_tables=(TableRef(table.name, "T"),),
+            where=Comparison(ColumnRef("T", column), ComparisonOp.EQ,
+                             Literal(None))),))
+        n_engine, n_sqlite = _agree(engine, sqlite_backend, query)
+        assert n_engine == 0 and n_sqlite == 0
+
+
+class TestDialectRoundTrip:
+    """render_query output must prepare (and run) on real sqlite3."""
+
+    def test_all_comparison_ops_prepare(self, hybrid_pair):
+        schema, _, sqlite_backend = hybrid_pair
+        for op in ComparisonOp:
+            query = _translate(schema, '//inproceedings[year = "1999"]/title')
+            select = query.selects[0]
+            rewritten = Query(
+                selects=(Select(
+                    items=select.items,
+                    from_tables=select.from_tables,
+                    where=Comparison(ColumnRef("", "year"), op,
+                                     Literal(1999))),)
+                + query.selects[1:],
+                order_by=query.order_by)
+            sqlite_backend.prepare(rewritten)
+
+    def test_literal_variants_prepare(self, hybrid_pair):
+        schema, _, sqlite_backend = hybrid_pair
+        table = schema.to_engine_tables()[0]
+        column = table.columns[0].name
+        for value in (None, True, False, 0, -3, 2.5, 1e300,
+                      "it's quoted", ""):
+            query = Query(selects=(Select(
+                items=(SelectItem(ColumnRef("T", column)),),
+                from_tables=(TableRef(table.name, "T"),),
+                where=Comparison(ColumnRef("T", column), ComparisonOp.NE,
+                                 Literal(value))),))
+            sqlite_backend.prepare(query)
+
+    def test_isnull_both_polarities(self, hybrid_pair):
+        schema, engine, sqlite_backend = hybrid_pair
+        table = schema.to_engine_tables()[0]
+        column = table.columns[-1].name
+        for negated in (False, True):
+            query = Query(selects=(Select(
+                items=(SelectItem(ColumnRef("T", column)),),
+                from_tables=(TableRef(table.name, "T"),),
+                where=IsNull(ColumnRef("T", column), negated=negated)),))
+            _agree(engine, sqlite_backend, query)
+
+    def test_or_of_comparisons(self, hybrid_pair):
+        schema, engine, sqlite_backend = hybrid_pair
+        base = _translate(schema, '//inproceedings[year = "1999"]/title')
+        select = base.selects[0]
+        where = Or(items=(
+            Comparison(ColumnRef("", "year"), ComparisonOp.EQ, Literal(1999)),
+            Comparison(ColumnRef("", "year"), ComparisonOp.EQ, Literal(2000)),
+        ))
+        query = Query(
+            selects=(Select(items=select.items,
+                            from_tables=select.from_tables,
+                            where=where),) + base.selects[1:],
+            order_by=base.order_by)
+        sqlite_backend.prepare(query)
+
+    def test_exists_probe_runs_on_both(self, hybrid_pair):
+        # Existence predicates translate to EXISTS + IS NULL probes and
+        # exercise And as well — the full boolean vocabulary at once.
+        schema, engine, sqlite_backend = hybrid_pair
+        query = _translate(schema, '//inproceedings[author]/title')
+        n_engine, _ = _agree(engine, sqlite_backend, query)
+        assert n_engine > 0
+
+    def test_union_all_with_order_by(self, hybrid_pair):
+        schema, engine, sqlite_backend = hybrid_pair
+        query = _translate(
+            schema,
+            '/dblp/inproceedings[booktitle = "SIGMOD CONFERENCE"]'
+            '/(title | year | author)')
+        assert len(query.selects) > 1 and query.order_by
+        assert "UNION ALL" in render_query(query)
+        _agree(engine, sqlite_backend, query)
+
+    def test_generated_workload_prepares_on_all_presets(self, dblp_data):
+        tree, docs = dblp_data
+        stats = collect_statistics(tree, docs)
+        workload = WorkloadGenerator(tree, stats, seed=11).generate(8)
+        for label, preset in PRESETS.items():
+            schema = derive_schema(preset(tree))
+            translator = Translator(schema)
+            with SQLiteBackend() as backend:
+                backend.load(schema, docs)
+                for weighted in workload.queries:
+                    backend.prepare(translator.translate(weighted.query))
+
+    def test_quote_identifier_doubles_quotes(self):
+        assert quote_identifier('a"b') == '"a""b"'
+        assert quote_identifier("order") == '"order"'
+
+    def test_ddl_keywords_and_includes(self):
+        table = Table(name="order", columns=[
+            Column("ID", SQLType.INTEGER),
+            Column("group", SQLType.VARCHAR),
+            Column("when", SQLType.DATE),
+        ], primary_key="ID")
+        ddl = create_table_sql(table)
+        assert '"order"' in ddl and '"group"' in ddl and '"when"' in ddl
+        assert "PRIMARY KEY" in ddl
+        # DATE columns get TEXT affinity: the engine stores them as
+        # strings and NUMERIC affinity would re-type year-like values.
+        assert "TEXT" in ddl
+        index = Index(name="ix", table_name="order",
+                      key_columns=("group",), included_columns=("when",))
+        index_sql = create_index_sql(index)
+        # SQLite has no INCLUDE clause: included columns join the key.
+        assert '"group", "when"' in index_sql
+        assert insert_sql(table).count("?") == 3
+
+
+class TestDifferentialSuite:
+    """Every translated query agrees on both backends, across datasets,
+    mapping presets, and tuned physical designs."""
+
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    def test_dblp_presets_agree(self, dblp_data, preset):
+        tree, docs = dblp_data
+        stats = collect_statistics(tree, docs)
+        schema = derive_schema(PRESETS[preset](tree))
+        translator = Translator(schema)
+        workload = WorkloadGenerator(tree, stats, seed=3).generate(6)
+        queries = [translator.translate(w.query) for w in workload.queries]
+        report = validate_design(schema, Configuration(), docs, queries)
+        assert report.ok, report.describe()
+        assert report.queries_checked == len(queries)
+
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    def test_movie_presets_agree(self, movie_data, preset):
+        tree, docs = movie_data
+        stats = collect_statistics(tree, docs)
+        schema = derive_schema(PRESETS[preset](tree))
+        translator = Translator(schema)
+        workload = WorkloadGenerator(tree, stats, seed=5).generate(6)
+        queries = [translator.translate(w.query) for w in workload.queries]
+        report = validate_design(schema, Configuration(), docs, queries)
+        assert report.ok, report.describe()
+
+    def test_tuned_greedy_design_agrees(self, dblp_data):
+        # Real CREATE INDEX + populated view tables must not change
+        # results, only speed.
+        tree, docs = dblp_data
+        stats = collect_statistics(tree, docs)
+        workload = WorkloadGenerator(tree, stats, seed=3).generate(6)
+        result = GreedySearch(tree, workload, stats,
+                              storage_bound=512 * 1024 * 1024).run()
+        queries = [query for query, _ in result.sql_queries]
+        report = validate_design(result.schema, result.configuration,
+                                 docs, queries)
+        assert report.ok, report.describe()
+
+    def test_divergence_report_shape(self, hybrid_pair):
+        schema, engine, sqlite_backend = hybrid_pair
+        query = _translate(schema, '//inproceedings/title')
+        report = compare_backends(engine, sqlite_backend, [query])
+        assert isinstance(report, DiffReport)
+        assert report.ok and "0 divergences" in report.describe()
+
+
+class TestMultisetDiff:
+    def test_normalize_collapses_bool_and_integral_float(self):
+        assert normalize_row((True, 3.0, "x", 2.5)) == (1, 3, "x", 2.5)
+
+    def test_diff_is_order_insensitive(self):
+        a = [(1, "a"), (2, "b"), (2, "b")]
+        b = [(2, "b"), (1, "a"), (2, "b")]
+        assert multiset_diff(a, b) == ([], [])
+
+    def test_diff_reports_multiplicity(self):
+        missing, extra = multiset_diff([(1,), (1,)], [(1,), (2,)])
+        assert missing == [(1,)] and extra == [(2,)]
+
+
+class TestBackendBasics:
+    def test_protocol_conformance(self):
+        assert isinstance(SQLiteBackend(), SQLBackend)
+        assert isinstance(EngineBackend(), SQLBackend)
+
+    def test_row_counts_match_engine(self, hybrid_pair):
+        schema, engine, sqlite_backend = hybrid_pair
+        for table in schema.to_engine_tables():
+            engine_table = engine.db.catalog.table(table.name)
+            (count,), = sqlite_backend.execute_sql(
+                f'SELECT COUNT(*) FROM "{table.name}"')
+            assert count == len(engine_table.rows or [])
+
+    def test_apply_configuration_builds_real_structures(self, dblp_data):
+        tree, docs = dblp_data
+        stats = collect_statistics(tree, docs)
+        workload = WorkloadGenerator(tree, stats, seed=3).generate(6)
+        result = GreedySearch(tree, workload, stats,
+                              storage_bound=512 * 1024 * 1024).run()
+        with SQLiteBackend() as backend:
+            backend.load(result.schema, docs)
+            backend.apply_configuration(result.configuration)
+            names = {name for (name,) in backend.execute_sql(
+                "SELECT name FROM sqlite_master")}
+            for index in result.configuration.indexes:
+                assert index.name in names
+            for view in result.configuration.views:
+                assert view.name in names
+
+    def test_time_query_returns_positive_median(self, hybrid_pair):
+        schema, _, sqlite_backend = hybrid_pair
+        query = _translate(schema, '//inproceedings/title')
+        timing = sqlite_backend.time_query(query, repeat=3, warmup=1)
+        assert isinstance(timing, QueryTiming)
+        assert timing.seconds > 0.0 and len(timing.runs) == 3
+        assert timing.rows > 0 and timing.best <= timing.seconds * 1.5
+
+    def test_engine_backend_timing_is_deterministic(self, hybrid_pair):
+        schema, engine, _ = hybrid_pair
+        query = _translate(schema, '//inproceedings/title')
+        first = engine.time_query(query, repeat=2, warmup=0)
+        second = engine.time_query(query, repeat=2, warmup=0)
+        assert first.seconds == second.seconds > 0
+
+    def test_bad_sql_raises_backend_error(self, hybrid_pair):
+        _, _, sqlite_backend = hybrid_pair
+        with pytest.raises(BackendError):
+            sqlite_backend.execute_sql("SELECT * FROM no_such_table")
+
+    def test_timed_runs_median(self):
+        ticks = iter([0.0, 0.4, 1.0, 1.5])
+        values = iter([[1], [1], [1]])
+
+        def run():
+            return next(values)
+
+        timing = timed_runs(run, repeat=2, warmup=1,
+                            clock=lambda: next(ticks))
+        assert len(timing.runs) == 2 and timing.rows == 1
+        assert timing.seconds == pytest.approx(0.45)
+
+
+class TestSpearman:
+    def test_perfect_and_inverse(self):
+        assert spearman([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+        assert spearman([1, 2, 3, 4], [4, 3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_ties_get_average_ranks(self):
+        assert spearman([1, 1, 2], [1, 1, 2]) == pytest.approx(1.0)
+
+    def test_degenerate_inputs(self):
+        assert spearman([1], [2]) == 0.0
+        assert spearman([1, 1, 1], [1, 2, 3]) == 0.0
+
+
+class TestCalibrationSmoke:
+    def test_run_calibration_structure(self):
+        bundle = DatasetBundle.dblp(scale=40, seed=7)
+        workload = bundle.workload_generator(seed=3).generate(4)
+        report = run_calibration(bundle, workload,
+                                 algorithms=("greedy",), repeat=1, warmup=0)
+        assert isinstance(report, CalibrationReport)
+        assert {d.label for d in report.designs} == {"logical-only", "greedy"}
+        for design in report.designs:
+            assert design.estimated_cost > 0
+            assert design.measured_seconds > 0
+            assert len(design.queries) == 4
+            assert all(q.measured_seconds > 0 for q in design.queries)
+        # The search must not think it made things worse than doing
+        # nothing about physical design.
+        assert (report.design("greedy").estimated_cost
+                <= report.design("logical-only").estimated_cost)
+        text = report.describe()
+        assert "rank correlation" in text and "logical-only" in text
