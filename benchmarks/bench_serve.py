@@ -1,0 +1,113 @@
+"""Serving throughput and latency — the query service under load.
+
+The other benchmarks measure the *advisor* (how fast it finds a design
+and how good the design is). This one measures the artifact the design
+exists for: a long-lived :class:`repro.serve.QueryService` answering a
+Zipf-distributed query stream through its plan cache. For each bundled
+dataset and each worker count it runs the seeded closed-loop harness
+twice — a cold run (every plan translated) and a warm run (plans
+served from the cache) — and records p50/p99 latency, QPS, and the
+warm-run plan-cache hit rate to ``BENCH_serve.json`` so the serving
+perf trajectory is tracked across PRs.
+
+Run standalone with ``--smoke`` for the quick CI variant::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke
+"""
+
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments import DatasetBundle
+from repro.serve import LoadGenerator, QueryService
+from repro.workload import zipf_mix
+
+SEED = 7
+WORKER_COUNTS = (2, 4)
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+
+def _measure(bundle, workers: int, requests: int, queries: int) -> dict:
+    """Cold + warm closed-loop runs of one (dataset, workers) cell."""
+    from repro.mapping import derive_schema, hybrid_inlining
+
+    schema = derive_schema(hybrid_inlining(bundle.tree))
+    workload = bundle.workload_generator(seed=SEED).generate(queries)
+    mix = zipf_mix(workload)
+    with QueryService(schema, bundle.docs, workers=workers) as service:
+        generator = LoadGenerator(service, mix, seed=SEED,
+                                  clients=workers)
+        cold = generator.run(requests=requests)
+        warm_base = service.plan_cache.stats()
+        warm = generator.run(requests=requests)
+        warm_cache = service.plan_cache.stats()
+        warm_hits = warm_cache["hits"] - warm_base["hits"]
+        warm_total = warm_hits + warm_cache["misses"] - warm_base["misses"]
+        assert cold.errors == 0 and warm.errors == 0
+        return {
+            "dataset": bundle.name,
+            "workers": workers,
+            "requests": requests,
+            "cold": {
+                "qps": round(cold.qps, 1),
+                "p50_ms": round(cold.latency(50) * 1e3, 3),
+                "p99_ms": round(cold.latency(99) * 1e3, 3),
+            },
+            "warm": {
+                "qps": round(warm.qps, 1),
+                "p50_ms": round(warm.latency(50) * 1e3, 3),
+                "p99_ms": round(warm.latency(99) * 1e3, 3),
+                "plan_cache_hit_rate": round(
+                    warm_hits / warm_total if warm_total else 0.0, 4),
+            },
+            "sequence_digest": warm.sequence_digest,
+        }
+
+
+def _run(scale: int, requests: int, queries: int) -> dict:
+    cells = []
+    for make in (DatasetBundle.dblp, DatasetBundle.movie):
+        bundle = make(scale=scale, seed=SEED)
+        for workers in WORKER_COUNTS:
+            cell = _measure(bundle, workers, requests, queries)
+            cells.append(cell)
+            print(f"{cell['dataset']:>6} workers={workers}: "
+                  f"warm {cell['warm']['qps']:.0f} QPS, "
+                  f"p50 {cell['warm']['p50_ms']:.3f}ms, "
+                  f"p99 {cell['warm']['p99_ms']:.3f}ms, "
+                  f"hit rate {cell['warm']['plan_cache_hit_rate']:.1%}")
+    return {"benchmark": "serve", "seed": SEED, "scale": scale,
+            "mode": "closed", "results": cells}
+
+
+def _assert_sane(payload: dict) -> None:
+    for cell in payload["results"]:
+        assert cell["warm"]["qps"] > 0, f"{cell['dataset']}: zero QPS"
+        assert cell["warm"]["plan_cache_hit_rate"] > 0.9, \
+            f"{cell['dataset']}: warm run should serve from the cache"
+        assert cell["warm"]["p50_ms"] <= cell["warm"]["p99_ms"]
+
+
+def test_serve_throughput(benchmark, emit):
+    payload = benchmark.pedantic(
+        lambda: _run(scale=400, requests=400, queries=8),
+        rounds=1, iterations=1)
+    _assert_sane(payload)
+    emit(json.dumps(payload["results"], indent=2))
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    payload = _run(scale=150 if smoke else 400,
+                   requests=150 if smoke else 400,
+                   queries=6 if smoke else 8)
+    _assert_sane(payload)
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+    print(f"wrote {BENCH_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

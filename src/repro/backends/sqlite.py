@@ -9,11 +9,42 @@ Data loading goes through :func:`repro.mapping.shred_typed_rows` — the
 same shred-and-coerce step the in-memory engine uses — so both backends
 see byte-identical rows, and any result divergence is a semantics bug,
 never a loading artifact.
+
+Concurrency model
+-----------------
+
+``sqlite3`` connections are not thread-safe objects, and the naive
+"one connection created on the loading thread, used everywhere" design
+either throws ``check_same_thread`` errors or silently races when a
+thread pool executes queries concurrently. This backend therefore
+keeps **one connection per thread**:
+
+* the *primary* connection (created in ``__init__``) performs all
+  loading and DDL, which stays single-threaded by contract;
+* every other thread that executes a query lazily opens its own
+  connection to the same database the first time it asks for one;
+* in-memory databases use a uniquely named shared-cache URI
+  (``file:...?mode=memory&cache=shared``) so the per-thread
+  connections all see the data the primary connection loaded;
+* file-backed databases can be reopened read-only
+  (``read_only=True`` opens every connection with ``mode=ro``), which
+  is what a long-lived query service wants — serving connections
+  physically cannot write;
+* :meth:`close` closes every connection the backend ever opened.
+
+``time_query`` is the *timed benchmark* path: it takes an exclusive
+per-backend lock so concurrent callers cannot interleave page-cache
+churn into each other's measured runs, and warmup + timed runs all
+execute on the calling thread's connection. ``execute`` is the *serve*
+path: it never takes that lock and runs concurrently.
 """
 
 from __future__ import annotations
 
+import itertools
+import os
 import sqlite3
+import threading
 
 from ..engine import Database
 from ..errors import ReproError
@@ -38,19 +69,81 @@ def _storable(value):
     return value
 
 
+#: Distinguishes the shared-cache URIs of concurrently live in-memory
+#: backends within one process (the pid covers forked workers).
+_MEMORY_SERIAL = itertools.count(1)
+
+
 class SQLiteBackend:
     """:class:`~repro.backends.base.SQLBackend` over stdlib sqlite3."""
 
     name = "sqlite"
 
     def __init__(self, path: str = ":memory:",
-                 tracer: Tracer | NullTracer | None = None):
+                 tracer: Tracer | NullTracer | None = None,
+                 read_only: bool = False):
         self.tracer = tracer if tracer is not None else get_tracer()
         self._metrics = self.tracer.metrics("backend.sqlite")
-        self.connection = sqlite3.connect(path)
+        if path == ":memory:":
+            # A plain ":memory:" connection is private to itself — a
+            # second (per-thread) connection would see an empty
+            # database. A named shared-cache URI gives every
+            # connection of this backend the same in-memory database.
+            self._uri = (f"file:repro-sqlite-{os.getpid()}-"
+                         f"{next(_MEMORY_SERIAL)}?mode=memory&cache=shared")
+            self._worker_uri = self._uri
+        else:
+            base = f"file:{path}"
+            self._uri = f"{base}?mode=ro" if read_only else base
+            self._worker_uri = self._uri
+        self.read_only = read_only
+        self._connections: list[sqlite3.Connection] = []
+        self._conn_lock = threading.Lock()
+        self._timing_lock = threading.Lock()
+        self._local = threading.local()
+        self._closed = False
+        # The primary connection: loading and DDL happen here, on the
+        # thread that constructed the backend. It also pins a named
+        # in-memory database alive for the per-thread connections.
+        self.connection = self._open(self._uri)
+        self._local.connection = self.connection
         self.connection.execute("PRAGMA synchronous = OFF")
-        self.connection.execute("PRAGMA journal_mode = MEMORY")
+        if path == ":memory:":
+            self.connection.execute("PRAGMA journal_mode = MEMORY")
         self._tables: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+    def _open(self, uri: str) -> sqlite3.Connection:
+        try:
+            # check_same_thread=False so close() can close every
+            # connection from one thread; each connection is otherwise
+            # used only by the thread that opened it.
+            connection = sqlite3.connect(uri, uri=True,
+                                         check_same_thread=False)
+        except sqlite3.Error as exc:
+            raise BackendError(f"cannot open {uri!r}: {exc}") from exc
+        with self._conn_lock:
+            if self._closed:
+                connection.close()
+                raise BackendError("backend is closed")
+            self._connections.append(connection)
+        return connection
+
+    def _thread_connection(self) -> sqlite3.Connection:
+        """The calling thread's connection, opened on first use."""
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = self._open(self._worker_uri)
+            self._local.connection = connection
+            self._metrics.incr("worker_connections")
+        return connection
+
+    @property
+    def open_connections(self) -> int:
+        with self._conn_lock:
+            return len(self._connections)
 
     # ------------------------------------------------------------------
     # Loading
@@ -115,7 +208,7 @@ class SQLiteBackend:
                     f"applying configuration failed: {exc}") from exc
 
     # ------------------------------------------------------------------
-    # Execution
+    # Execution (the serve path: concurrent, per-thread connections)
     # ------------------------------------------------------------------
     def sql_text(self, query: Query) -> str:
         return render_query(query)
@@ -124,9 +217,10 @@ class SQLiteBackend:
         return self.execute_sql(render_query(query))
 
     def execute_sql(self, sql: str) -> list[tuple]:
+        connection = self._thread_connection()
         with self.tracer.span("backend.query", backend=self.name):
             try:
-                cursor = self.connection.execute(sql)
+                cursor = connection.execute(sql)
                 rows = cursor.fetchall()
             except sqlite3.Error as exc:
                 raise BackendError(f"query failed: {exc}\nSQL: {sql}") from exc
@@ -137,27 +231,49 @@ class SQLiteBackend:
         """Compile without running (dialect round-trip check)."""
         sql = render_query(query)
         try:
-            self.connection.execute(f"EXPLAIN {sql}").fetchall()
+            self._thread_connection().execute(f"EXPLAIN {sql}").fetchall()
         except sqlite3.Error as exc:
             raise BackendError(
                 f"query does not prepare: {exc}\nSQL: {sql}") from exc
 
+    # ------------------------------------------------------------------
+    # Timing (the benchmark path: exclusive while measuring)
+    # ------------------------------------------------------------------
     def time_query(self, query: Query, repeat: int = 3,
                    warmup: int = 1) -> QueryTiming:
+        """Warmup + repetition median timing, exclusive per backend.
+
+        The contract (pinned by tests): all warmup and timed runs
+        execute on the calling thread's connection, back to back, with
+        no other ``time_query`` interleaved — so the first measured run
+        never pays another worker's page-cache eviction. Concurrent
+        ``execute`` calls (the serve path) are *not* excluded; a timed
+        benchmark under live load is a different experiment and should
+        use a dedicated backend.
+        """
         sql = render_query(query)
-        with self.tracer.span("backend.query", backend=self.name,
-                              timed=True) as span:
-            timing = timed_runs(
-                lambda: self.connection.execute(sql).fetchall(),
-                repeat=repeat, warmup=warmup)
-            span.set("seconds", timing.seconds)
-            span.set("rows", timing.rows)
+        connection = self._thread_connection()
+        with self._timing_lock:
+            with self.tracer.span("backend.query", backend=self.name,
+                                  timed=True) as span:
+                timing = timed_runs(
+                    lambda: connection.execute(sql).fetchall(),
+                    repeat=repeat, warmup=warmup)
+                span.set("seconds", timing.seconds)
+                span.set("rows", timing.rows)
         self._metrics.incr("queries_timed")
         return timing
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        self.connection.close()
+        with self._conn_lock:
+            connections, self._connections = self._connections, []
+            self._closed = True
+        for connection in connections:
+            try:
+                connection.close()
+            except sqlite3.Error:  # pragma: no cover - defensive
+                pass
 
     def __enter__(self) -> "SQLiteBackend":
         return self

@@ -9,6 +9,8 @@ Commands
 ``advise``     run the design search on a workload file
 ``experiment`` run one of the paper's experiments at a chosen scale
 ``calibrate``  rank-correlate cost estimates with measured SQLite times
+``serve``      long-lived query service (plan cache + worker pool)
+``loadgen``    seeded closed/open-loop load harness against the service
 
 Workload files for ``advise`` contain one entry per line::
 
@@ -370,6 +372,183 @@ def cmd_experiment(args, out=None) -> int:
     return 0
 
 
+def _serve_bundle(args, out):
+    """Schema, documents, statistics, and workload for serve/loadgen.
+
+    Either a bundled dataset (``--dataset``) or explicit schema+XML
+    files. One ``--seed`` drives the workload generator and (through
+    the caller) the mix sampler — the reproducibility contract of the
+    load harness.
+    """
+    if args.dataset:
+        from .experiments import DatasetBundle
+        make = (DatasetBundle.dblp if args.dataset == "dblp"
+                else DatasetBundle.movie)
+        bundle = make(scale=args.scale, seed=args.seed)
+        tree, docs, stats = bundle.tree, bundle.docs, bundle.stats
+        workload = bundle.workload_generator(seed=args.seed).generate(
+            args.queries)
+    else:
+        tree = _load_schema(args)
+        if not args.xml:
+            raise SystemExit("provide --xml <file...> or --dataset")
+        docs = [parse_file(path) for path in args.xml]
+        for doc in docs:
+            validate(doc, tree)
+        stats = collect_statistics(tree, docs)
+        if not args.workload:
+            raise SystemExit("file mode requires --workload")
+        workload = parse_workload_file(args.workload)
+    return tree, docs, stats, workload
+
+
+def _serve_design(args, tree, stats, workload, out):
+    """The (schema, configuration) pair the service will load.
+
+    ``--tune`` runs the physical-design advisor on the chosen mapping
+    (translation + what-if calls, no data touched); without it the
+    service runs the bare logical design.
+    """
+    from .physdesign import Configuration
+    mapping = MAPPINGS[args.mapping](tree)
+    if args.tune:
+        from .search import MappingEvaluator
+        evaluator = MappingEvaluator(workload, stats, storage_bound=None)
+        evaluated = evaluator.evaluate(mapping)
+        if evaluated is not None:
+            return evaluated.schema, evaluated.tuning.configuration
+        print("note: workload is infeasible under this mapping; "
+              "serving untuned", file=out)
+    return derive_schema(mapping), Configuration()
+
+
+def _make_service(args, schema, configuration, docs):
+    from .serve import QueryService
+    return QueryService(schema, docs, configuration=configuration,
+                        workers=args.workers,
+                        plan_cache_size=args.plan_cache,
+                        db_path=args.db)
+
+
+def cmd_serve(args, out=None) -> int:
+    out = out or sys.stdout
+    tree, docs, stats, workload = _serve_bundle(args, out)
+    schema, configuration = _serve_design(args, tree, stats, workload, out)
+    service = _make_service(args, schema, configuration, docs)
+    try:
+        print(f"serving {len(schema.table_names)} tables "
+              f"({len(configuration.indexes)} indexes, "
+              f"{len(configuration.views)} views) on {args.workers} "
+              f"workers; plan cache {args.plan_cache}", file=out)
+        if args.xpath:
+            queries = args.xpath
+        else:
+            print("enter one XPath query per line (EOF to stop):",
+                  file=out)
+            queries = (line.strip() for line in sys.stdin)
+        for text in queries:
+            if not text:
+                continue
+            try:
+                result = service.serve(text)
+            except ReproError as exc:
+                print(f"error: {exc}", file=out)
+                continue
+            print(f"{result.xpath}: {len(result.rows)} rows in "
+                  f"{result.seconds * 1e3:.3f}ms "
+                  f"({'cached' if result.cached_plan else 'translated'} "
+                  f"plan {result.plan_key})", file=out)
+            limit = args.limit if args.limit > 0 else len(result.rows)
+            for row in result.rows[:limit]:
+                print("  " + "\t".join("NULL" if v is None else str(v)
+                                       for v in row), file=out)
+            if len(result.rows) > limit:
+                print(f"  ... {len(result.rows) - limit} more", file=out)
+        print(service.stats().describe(), file=out)
+    finally:
+        service.close()
+    return 0
+
+
+def cmd_loadgen(args, out=None) -> int:
+    import json
+
+    out = out or sys.stdout
+    from .serve import LoadGenerator, write_run_report
+    from .workload import zipf_mix
+    tree, docs, stats, workload = _serve_bundle(args, out)
+    schema, configuration = _serve_design(args, tree, stats, workload, out)
+    mix = zipf_mix(workload, skew=args.zipf)
+    service = _make_service(args, schema, configuration, docs)
+    try:
+        generator = LoadGenerator(service, mix, seed=args.seed,
+                                  mode=args.mode, clients=args.clients,
+                                  rate=args.rate)
+        report = generator.run(requests=args.requests,
+                               duration=args.duration)
+        print(report.describe(), file=out)
+        print(service.stats().describe(), file=out)
+        failures = []
+        if args.verify:
+            mismatches = _verify_against_engine(service, schema, docs, mix,
+                                                out)
+            if mismatches:
+                failures.append(f"{mismatches} queries diverge from the "
+                                f"engine oracle")
+        if args.report:
+            path = write_run_report(args.report, report, service,
+                                    meta={"dataset": args.dataset or "files",
+                                          "mapping": args.mapping,
+                                          "tuned": args.tune})
+            print(f"wrote HTML report to {path}", file=out)
+        if args.json:
+            payload = report.to_dict()
+            payload["plan_cache"] = service.plan_cache.stats()
+            Path(args.json).write_text(json.dumps(payload, indent=2),
+                                       encoding="utf-8")
+            print(f"wrote JSON summary to {args.json}", file=out)
+        if args.smoke:
+            cache_stats = service.plan_cache.stats()
+            if report.qps <= 0:
+                failures.append("QPS is zero")
+            if report.errors:
+                failures.append(f"{report.errors} errored requests")
+            if cache_stats["hits"] <= 0:
+                failures.append("plan cache never hit")
+        if failures:
+            for failure in failures:
+                print(f"SMOKE FAIL: {failure}", file=out)
+            return 1
+        if args.smoke:
+            print("smoke OK: nonzero QPS, zero errors, plan cache hit",
+                  file=out)
+    finally:
+        service.close()
+    return 0
+
+
+def _verify_against_engine(service, schema, docs, mix, out) -> int:
+    """Differential check: served rows vs the engine oracle, per distinct
+    mix query. Returns the number of diverging queries."""
+    from .backends import EngineBackend, multiset_diff
+    engine = EngineBackend()
+    engine.load(schema, docs)
+    mismatches = 0
+    for query in mix.queries:
+        served = service.serve(query)
+        plan = service.plan_cache.get_or_translate(query)
+        missing, extra = multiset_diff(engine.execute(plan.sql),
+                                       served.rows)
+        if missing or extra:
+            mismatches += 1
+            print(f"VERIFY MISMATCH {query}: {len(missing)} missing, "
+                  f"{len(extra)} extra rows", file=out)
+    if not mismatches:
+        print(f"verify OK: {len(mix.queries)} distinct queries match "
+              f"the engine oracle", file=out)
+    return mismatches
+
+
 def cmd_calibrate(args, out=None) -> int:
     out = out or sys.stdout
     from .backends import run_calibration
@@ -558,6 +737,85 @@ def build_parser() -> argparse.ArgumentParser:
                        help="exit non-zero unless the design rank "
                             "correlation reaches R (CI gate)")
     p_cal.set_defaults(func=cmd_calibrate)
+
+    def serve_shared(p: argparse.ArgumentParser) -> None:
+        source = p.add_argument_group("data source")
+        source.add_argument("--dataset", choices=["dblp", "movie"],
+                            default=None,
+                            help="serve a bundled synthetic dataset "
+                                 "instead of --schema/--xml files")
+        source.add_argument("--scale", type=int, default=300,
+                            help="bundled dataset scale (default: 300)")
+        source.add_argument("--queries", type=int, default=6,
+                            help="generated workload size for --dataset "
+                                 "(default: 6)")
+        source.add_argument("--schema", help="XSD schema file")
+        source.add_argument("--dtd", help="DTD file (requires --root)")
+        source.add_argument("--root", help="root element name for --dtd")
+        source.add_argument("--xml", nargs="+",
+                            help="XML document file(s) (file mode)")
+        source.add_argument("--workload", default=None,
+                            help="workload file (required in file mode)")
+        design = p.add_argument_group("design")
+        _mapping_argument(design)
+        design.add_argument("--tune", action="store_true",
+                            help="run the physical-design advisor and "
+                                 "serve its recommended configuration")
+        svc = p.add_argument_group("service")
+        svc.add_argument("--seed", type=int, default=7,
+                         help="seed for dataset, workload, and query "
+                              "mix (default: 7)")
+        svc.add_argument("--workers", type=int, default=4,
+                         help="service worker threads (default: 4)")
+        svc.add_argument("--plan-cache", type=int, default=128,
+                         help="plan cache capacity (default: 128)")
+        svc.add_argument("--db", default=None, metavar="FILE",
+                         help="serve from this SQLite file (workers "
+                              "reopen it read-only; default: shared "
+                              "in-memory database)")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve XPath queries from a long-lived query service")
+    serve_shared(p_serve)
+    p_serve.add_argument("--xpath", action="append", metavar="QUERY",
+                         help="serve this query and exit (repeatable); "
+                              "without it, read queries from stdin")
+    p_serve.add_argument("--limit", type=int, default=10,
+                         help="rows printed per query, 0 = all "
+                              "(default: 10)")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="drive the query service with a seeded load harness")
+    serve_shared(p_load)
+    p_load.add_argument("--mode", choices=["closed", "open"],
+                        default="closed",
+                        help="closed loop (clients back-to-back) or "
+                             "open loop (Poisson arrivals)")
+    p_load.add_argument("--clients", type=int, default=4,
+                        help="closed-loop client threads (default: 4)")
+    p_load.add_argument("--rate", type=float, default=200.0,
+                        help="open-loop arrival rate in req/s "
+                             "(default: 200)")
+    p_load.add_argument("--requests", type=int, default=None,
+                        help="stop after this many requests")
+    p_load.add_argument("--duration", type=float, default=None,
+                        help="stop after this many seconds")
+    p_load.add_argument("--zipf", type=float, default=1.0,
+                        help="Zipf skew of the query mix (default: 1.0)")
+    p_load.add_argument("--report", metavar="FILE", default=None,
+                        help="write an HTML run report to FILE")
+    p_load.add_argument("--json", metavar="FILE", default=None,
+                        help="write a JSON run summary to FILE")
+    p_load.add_argument("--verify", action="store_true",
+                        help="differentially check served rows against "
+                             "the deterministic engine oracle")
+    p_load.add_argument("--smoke", action="store_true",
+                        help="exit non-zero unless QPS > 0, zero "
+                             "errors, and the plan cache hit")
+    p_load.set_defaults(func=cmd_loadgen)
     return parser
 
 

@@ -9,7 +9,8 @@ See docs/observability.md.
 
 from .export import (find_spans, iter_spans, render_tree, sum_attribute,
                      summarize, to_json, trace_to_dicts)
-from .metrics import NULL_METRICS, MetricRegistry, NullMetricRegistry
+from .metrics import (NULL_METRICS, LatencyHistogram, MetricRegistry,
+                      NullMetricRegistry)
 from .trace import (NULL_TRACER, Event, NullTracer, Span, Tracer,
                     get_tracer, set_tracer)
 
@@ -22,6 +23,7 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "MetricRegistry",
+    "LatencyHistogram",
     "NullMetricRegistry",
     "NULL_METRICS",
     "render_tree",

@@ -3,22 +3,119 @@
 A :class:`MetricRegistry` is a named bag of monotonically increasing
 counters — cheap enough to increment on hot paths (``database``,
 ``advisor``, ``evaluator`` components), cheap to snapshot, and
-deterministic to render (counters sorted by name).
+deterministic to render (counters sorted by name). Registries also
+hand out :class:`LatencyHistogram` instances for distributions (the
+query service records one observation per served request).
 """
 
 from __future__ import annotations
 
-__all__ = ["MetricRegistry", "NullMetricRegistry", "NULL_METRICS"]
+import bisect
+import math
+import threading
+
+__all__ = ["LatencyHistogram", "MetricRegistry", "NullMetricRegistry",
+           "NULL_METRICS"]
+
+
+def _log_bucket_bounds(lo: float, hi: float, per_decade: int) -> list[float]:
+    """Log-spaced upper bounds from ``lo`` to ``hi`` (inclusive)."""
+    decades = math.log10(hi / lo)
+    n = max(1, round(decades * per_decade))
+    return [lo * (hi / lo) ** (i / n) for i in range(n + 1)]
+
+
+class LatencyHistogram:
+    """Fixed log-scale buckets over seconds; thread-safe to observe.
+
+    Buckets span 10 µs .. 100 s with a configurable resolution per
+    decade; observations outside the range land in the first/last
+    bucket. Percentiles are estimated by linear interpolation inside
+    the winning bucket — good to bucket resolution, which is what a
+    load report needs (the raw per-request latencies stay available to
+    callers that want exact order statistics).
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "_max",
+                 "_lock")
+
+    def __init__(self, name: str, lo: float = 1e-5, hi: float = 100.0,
+                 per_decade: int = 10):
+        self.name = name
+        self.bounds = _log_bucket_bounds(lo, hi, per_decade)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        index = bisect.bisect_left(self.bounds, seconds)
+        with self._lock:
+            self.counts[index] += 1
+            self.count += 1
+            self.total += seconds
+            if seconds > self._max:
+                self._max = seconds
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max
+
+    def percentile(self, p: float) -> float:
+        """Estimated ``p``-th percentile (0 < p <= 100) in seconds."""
+        if self.count == 0:
+            return 0.0
+        rank = p / 100.0 * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if seen + bucket_count >= rank:
+                lo = self.bounds[index - 1] if index > 0 else 0.0
+                hi = (self.bounds[index] if index < len(self.bounds)
+                      else self._max)
+                fraction = (rank - seen) / bucket_count
+                return min(lo + (hi - lo) * fraction, self._max)
+            seen += bucket_count
+        return self._max
+
+    def snapshot(self) -> dict[str, float]:
+        """Count, mean, max, and the standard latency percentiles."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "max": self._max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def nonzero_buckets(self) -> list[tuple[float, int]]:
+        """(upper bound seconds, count) for occupied buckets, in order."""
+        out = []
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count:
+                bound = (self.bounds[index] if index < len(self.bounds)
+                         else math.inf)
+                out.append((bound, bucket_count))
+        return out
 
 
 class MetricRegistry:
-    """Named counters for one component."""
+    """Named counters (plus histograms) for one component."""
 
-    __slots__ = ("component", "counters")
+    __slots__ = ("component", "counters", "histograms")
 
     def __init__(self, component: str):
         self.component = component
         self.counters: dict[str, float] = {}
+        self.histograms: dict[str, LatencyHistogram] = {}
 
     def incr(self, name: str, delta: float = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + delta
@@ -26,12 +123,36 @@ class MetricRegistry:
     def get(self, name: str) -> float:
         return self.counters.get(name, 0)
 
+    def histogram(self, name: str) -> LatencyHistogram:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = LatencyHistogram(name)
+        return histogram
+
     def snapshot(self) -> dict[str, float]:
-        """Counters sorted by name (deterministic rendering order)."""
-        return {name: self.counters[name] for name in sorted(self.counters)}
+        """Counters sorted by name (deterministic rendering order);
+        histograms are flattened as ``<name>.<stat>`` entries."""
+        out = {name: self.counters[name] for name in sorted(self.counters)}
+        for name in sorted(self.histograms):
+            for stat, value in self.histograms[name].snapshot().items():
+                out[f"{name}.{stat}"] = value
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<MetricRegistry {self.component!r} {self.snapshot()}>"
+
+
+class _NullHistogram(LatencyHistogram):
+    """The disabled histogram: observations vanish."""
+
+    def __init__(self):
+        super().__init__("null", per_decade=1)
+
+    def observe(self, seconds: float) -> None:
+        pass
+
+
+_NULL_HISTOGRAM = _NullHistogram()
 
 
 class NullMetricRegistry(MetricRegistry):
@@ -42,6 +163,9 @@ class NullMetricRegistry(MetricRegistry):
 
     def incr(self, name: str, delta: float = 1) -> None:
         pass
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        return _NULL_HISTOGRAM
 
 
 NULL_METRICS = NullMetricRegistry()

@@ -1,0 +1,29 @@
+"""The serving layer: a long-lived query service plus a load harness.
+
+The advisor designs a schema; this package *serves* it. A
+:class:`QueryService` loads one tuned design into a SQLite backend
+once, translates XPath through an LRU :class:`PlanCache`, and answers
+queries from a thread pool (one backend connection per worker). A
+:class:`LoadGenerator` drives it in closed- or open-loop mode with a
+seeded Zipf query mix and reports p50/p95/p99 latency and QPS; the
+HTML run report archives one run. See docs/serving.md.
+"""
+
+from .loadgen import LoadGenerator, LoadReport, RequestRecord
+from .plan_cache import CachedPlan, PlanCache
+from .report import render_run_report, write_run_report
+from .service import QueryService, ServeResult, ServiceError, ServiceStats
+
+__all__ = [
+    "QueryService",
+    "ServeResult",
+    "ServiceError",
+    "ServiceStats",
+    "PlanCache",
+    "CachedPlan",
+    "LoadGenerator",
+    "LoadReport",
+    "RequestRecord",
+    "render_run_report",
+    "write_run_report",
+]

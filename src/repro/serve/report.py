@@ -1,0 +1,91 @@
+"""HTML run report for a load-harness run.
+
+One self-contained page (inline CSS, no external assets — safe to
+archive as a CI artifact) built from the generic HTML blocks in
+:mod:`repro.experiments.reporting`: run summary, latency percentiles,
+a latency-distribution bar chart from the service's histogram metric,
+plan-cache statistics, and the per-query traffic breakdown.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+
+from ..experiments.reporting import (html_bar_chart, html_definition_list,
+                                     html_document, html_table)
+from .loadgen import LoadReport
+from .service import QueryService
+
+__all__ = ["render_run_report", "write_run_report"]
+
+
+def _latency_chart(service: QueryService) -> str:
+    rows = []
+    for bound, count in service.latency_histogram.nonzero_buckets():
+        label = ("> last bucket" if bound == float("inf")
+                 else f"<= {bound * 1e3:.3g} ms")
+        rows.append((label, float(count)))
+    return html_bar_chart(rows, unit=" req")
+
+
+def _traffic_table(report: LoadReport) -> str:
+    by_query = Counter(r.xpath for r in report.records)
+    errors = Counter(r.xpath for r in report.records if r.error)
+    rows = []
+    for xpath, count in by_query.most_common():
+        share = count / max(len(report.records), 1)
+        rows.append([xpath, count, f"{share:.1%}", errors.get(xpath, 0)])
+    return html_table(["query", "requests", "share", "errors"], rows)
+
+
+def render_run_report(report: LoadReport, service: QueryService,
+                      meta: dict | None = None) -> str:
+    """The complete HTML page for one load run."""
+    stats = service.stats()
+    summary = {
+        "mode": f"{report.mode} loop",
+        "seed": report.seed,
+        "clients / workers": f"{report.clients} / {report.workers}",
+        "requests": len(report.records),
+        "errors": report.errors,
+        "wall time": f"{report.wall_seconds:.3f} s",
+        "QPS": f"{report.qps:.1f}",
+        "sequence digest": report.sequence_digest,
+    }
+    if report.rate is not None:
+        summary["target arrival rate"] = f"{report.rate:g} req/s"
+    if meta:
+        summary.update(meta)
+    latency_rows = [[f"p{p:g}", f"{report.latency(p) * 1e3:.3f} ms"]
+                    for p in (50, 90, 95, 99, 100)]
+    cache = stats.plan_cache
+    cache_summary = {
+        "entries": f"{cache['entries']:.0f} / {cache['capacity']:.0f}",
+        "hits / misses": f"{cache['hits']:.0f} / {cache['misses']:.0f}",
+        "hit rate": f"{cache['hit_rate']:.1%}",
+        "evictions": f"{cache['evictions']:.0f}",
+        "requests served from cached plan":
+            f"{report.cached_plan_rate:.1%}",
+    }
+    sections = [
+        ("Run summary", html_definition_list(summary)),
+        ("Latency percentiles (client-observed)",
+         html_table(["percentile", "latency"], latency_rows)),
+        ("Latency distribution (service-side histogram)",
+         _latency_chart(service)),
+        ("Plan cache", html_definition_list(cache_summary)),
+        ("Traffic by query", _traffic_table(report)),
+    ]
+    return html_document("repro serve — load run report", sections)
+
+
+def write_run_report(path: str | Path, report: LoadReport,
+                     service: QueryService,
+                     meta: dict | None = None) -> Path:
+    """Render and write the report; returns the written path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_run_report(report, service, meta),
+                    encoding="utf-8")
+    return path

@@ -1,0 +1,203 @@
+"""The long-lived query service.
+
+:class:`QueryService` is the artifact that makes "serve a tuned design"
+concrete: load a mapped schema's shredded data into a SQLite backend
+**once**, build the recommended physical configuration, and then answer
+XPath queries from many concurrent clients. Per request it:
+
+1. resolves the XPath through the LRU :class:`~repro.serve.PlanCache`
+   (translation paid once per distinct query),
+2. executes the SQL on the worker thread's own SQLite connection (the
+   backend opens one per thread — see ``repro.backends.sqlite``),
+3. records a ``serve.request`` span and a latency-histogram
+   observation on the service's metric registry.
+
+The service owns a thread pool; :meth:`submit` is the asynchronous
+client API (returns a future), :meth:`serve` the synchronous one. Both
+funnel through the same request path, so every answer — cached plan or
+not — is the plan-cache-translated, real-DBMS-executed result.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..backends import SQLiteBackend
+from ..errors import ReproError
+from ..mapping import MappedSchema
+from ..obs import (LatencyHistogram, NullMetricRegistry, NullTracer,
+                   Tracer, get_tracer)
+from ..physdesign import Configuration
+from ..xpath import XPathQuery
+from .plan_cache import PlanCache
+
+__all__ = ["QueryService", "ServeResult", "ServiceError", "ServiceStats"]
+
+
+class ServiceError(ReproError):
+    """The query service was misused (not started, already closed)."""
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """One served request: rows plus request-level metadata."""
+
+    xpath: str
+    rows: list[tuple]
+    seconds: float
+    plan_key: str
+    cached_plan: bool      # True: the plan came from the cache
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate counters snapshot for one service."""
+
+    requests: int = 0
+    errors: int = 0
+    plan_cache: dict = field(default_factory=dict)
+    latency: dict = field(default_factory=dict)
+
+    def describe(self) -> str:
+        lines = [f"requests: {self.requests} ({self.errors} errors)"]
+        if self.latency.get("count"):
+            lines.append(
+                "latency: p50 {p50:.6f}s  p95 {p95:.6f}s  p99 {p99:.6f}s  "
+                "max {max:.6f}s".format(**self.latency))
+        cache = self.plan_cache
+        if cache:
+            lines.append(
+                f"plan cache: {cache['entries']:.0f}/{cache['capacity']:.0f} "
+                f"entries, {cache['hits']:.0f} hits / "
+                f"{cache['misses']:.0f} misses "
+                f"({cache['hit_rate']:.1%}), "
+                f"{cache['evictions']:.0f} evictions")
+        return "\n".join(lines)
+
+
+class QueryService:
+    """Serve XPath queries over one loaded design from a thread pool.
+
+    ``db_path=None`` serves from a shared in-memory SQLite database;
+    a path serves from that file, and workers reopen it **read-only**
+    (they physically cannot write). ``workers`` bounds concurrent
+    executions; each pool worker gets its own SQLite connection on
+    first use.
+    """
+
+    def __init__(self, schema: MappedSchema, docs,
+                 configuration: Configuration | None = None,
+                 workers: int = 4, plan_cache_size: int = 128,
+                 db_path: str | None = None,
+                 tracer: Tracer | NullTracer | None = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self._metrics = self.tracer.metrics("serve.service")
+        # The latency histogram is service state, not optional
+        # telemetry — stats() and the HTML report read it even under
+        # the (default) null tracer, which discards observations.
+        self._latency = LatencyHistogram("request_seconds")
+        if not isinstance(self._metrics, NullMetricRegistry):
+            self._metrics.histograms["request_seconds"] = self._latency
+        self.schema = schema
+        self.configuration = configuration or Configuration()
+        self.workers = workers
+        self.plan_cache = PlanCache(schema, capacity=plan_cache_size,
+                                    tracer=self.tracer)
+        self._pool: ThreadPoolExecutor | None = None
+        self._closed = False
+        self._requests = 0
+        self._errors = 0
+        self._count_lock = threading.Lock()
+
+        with self.tracer.span("serve.startup", workers=workers):
+            if db_path is None:
+                self.backend = SQLiteBackend(tracer=self.tracer)
+                loader = self.backend
+            else:
+                # Load and build DDL through a writable connection,
+                # then serve through read-only worker connections on
+                # the same file.
+                loader = SQLiteBackend(db_path, tracer=self.tracer)
+                self.backend = None  # assigned after the load below
+            loader.load(schema, docs)
+            loader.apply_configuration(self.configuration)
+            if db_path is not None:
+                loader.close()
+                self.backend = SQLiteBackend(db_path, tracer=self.tracer,
+                                             read_only=True)
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve")
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def _handle(self, xpath: XPathQuery | str) -> ServeResult:
+        started = time.perf_counter()
+        with self.tracer.span("serve.request") as span:
+            was_cached = xpath in self.plan_cache
+            plan = self.plan_cache.get_or_translate(xpath)
+            rows = self.backend.execute(plan.sql)
+            seconds = time.perf_counter() - started
+            span.set("plan_key", plan.key)
+            span.set("cached_plan", was_cached)
+            span.set("rows", len(rows))
+            span.set("seconds", seconds)
+        self._latency.observe(seconds)
+        self._metrics.incr("requests")
+        with self._count_lock:
+            self._requests += 1
+        return ServeResult(xpath=str(plan.xpath), rows=rows,
+                           seconds=seconds, plan_key=plan.key,
+                           cached_plan=was_cached)
+
+    def _handle_counted(self, xpath: XPathQuery | str) -> ServeResult:
+        try:
+            return self._handle(xpath)
+        except Exception:
+            self._metrics.incr("errors")
+            with self._count_lock:
+                self._errors += 1
+            raise
+
+    def submit(self, xpath: XPathQuery | str) -> "Future[ServeResult]":
+        """Asynchronously serve one query (the open-loop client API)."""
+        if self._closed or self._pool is None:
+            raise ServiceError("query service is closed")
+        return self._pool.submit(self._handle_counted, xpath)
+
+    def serve(self, xpath: XPathQuery | str) -> ServeResult:
+        """Serve one query and wait for its result (closed-loop API)."""
+        return self.submit(xpath).result()
+
+    # ------------------------------------------------------------------
+    @property
+    def latency_histogram(self):
+        """The per-request latency histogram metric (read-only use)."""
+        return self._latency
+
+    def stats(self) -> ServiceStats:
+        with self._count_lock:
+            requests, errors = self._requests, self._errors
+        return ServiceStats(requests=requests, errors=errors,
+                            plan_cache=self.plan_cache.stats(),
+                            latency=self._latency.snapshot())
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+        self.backend.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

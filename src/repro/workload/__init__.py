@@ -1,7 +1,9 @@
-"""Workload model and random generator (paper Section 5.1.3)."""
+"""Workload model, random generator (paper Section 5.1.3), and the
+load-harness query-mix sampler."""
 
 from .generator import (HIGH_PROJECTIONS, HIGH_SELECTIVITY, LOW_PROJECTIONS,
                         LOW_SELECTIVITY, WorkloadGenerator)
+from .mix import MixSampler, QueryMix, zipf_mix
 from .model import WeightedQuery, WeightedUpdate, Workload
 
 __all__ = [
@@ -9,6 +11,9 @@ __all__ = [
     "WeightedQuery",
     "WeightedUpdate",
     "WorkloadGenerator",
+    "QueryMix",
+    "MixSampler",
+    "zipf_mix",
     "LOW_SELECTIVITY",
     "HIGH_SELECTIVITY",
     "LOW_PROJECTIONS",

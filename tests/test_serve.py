@@ -1,0 +1,566 @@
+"""Serving-layer tests: per-thread SQLite connections, the timed-run
+contract, the plan cache, the query service, the seeded load harness,
+differential validation under load, and the serve/loadgen CLI."""
+
+import contextlib
+import io
+import json
+import threading
+import time
+
+import pytest
+
+from repro.backends import EngineBackend, SQLiteBackend, multiset_diff
+from repro.backends.sqlite import BackendError
+from repro.cli import main as cli_main
+from repro.errors import WorkloadError
+from repro.experiments import DatasetBundle
+from repro.mapping import derive_schema, fully_split, hybrid_inlining
+from repro.obs import LatencyHistogram
+from repro.serve import (LoadGenerator, PlanCache, QueryService,
+                         ServiceError, render_run_report)
+from repro.translate import Translator
+from repro.workload import MixSampler, Workload, zipf_mix
+from repro.workload.model import WeightedQuery
+from repro.xpath import parse_xpath
+
+SCALE = 60
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def dblp_bundle():
+    return DatasetBundle.dblp(scale=SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def dblp_serving(dblp_bundle):
+    """Schema + loaded SQLite backend + a generated workload."""
+    schema = derive_schema(hybrid_inlining(dblp_bundle.tree))
+    backend = SQLiteBackend()
+    backend.load(schema, dblp_bundle.docs)
+    workload = dblp_bundle.workload_generator(seed=SEED).generate(6)
+    yield schema, backend, workload
+    backend.close()
+
+
+def _bundle(dataset: str):
+    make = DatasetBundle.dblp if dataset == "dblp" else DatasetBundle.movie
+    return make(scale=SCALE, seed=SEED)
+
+
+def run_cli(args) -> tuple[int, str]:
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = cli_main(args)
+    return code, out.getvalue()
+
+
+# ----------------------------------------------------------------------
+# Satellite 1: the backend survives concurrent execution
+# ----------------------------------------------------------------------
+
+
+class TestSQLiteConcurrency:
+    def test_same_query_from_four_threads(self, dblp_serving):
+        """Regression: one shared connection used to either throw
+        check_same_thread errors or race cursors; per-thread
+        connections must return identical, error-free results."""
+        schema, backend, _ = dblp_serving
+        query = Translator(schema).translate(
+            parse_xpath("//inproceedings/title"))
+        expected = backend.execute(query)
+        assert expected
+        errors, results = [], {}
+        barrier = threading.Barrier(4)
+
+        def worker(i: int) -> None:
+            try:
+                barrier.wait()
+                for _ in range(5):
+                    results[i] = backend.execute(query)
+            except Exception as exc:  # noqa: BLE001 - collected, asserted
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        for rows in results.values():
+            missing, extra = multiset_diff(expected, rows)
+            assert not missing and not extra
+
+    def test_worker_connections_are_per_thread(self, dblp_bundle):
+        schema = derive_schema(hybrid_inlining(dblp_bundle.tree))
+        with SQLiteBackend() as backend:
+            backend.load(schema, dblp_bundle.docs)
+            query = Translator(schema).translate(
+                parse_xpath("//inproceedings/title"))
+            before = backend.open_connections
+            threads = [threading.Thread(target=backend.execute,
+                                        args=(query,)) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            # Each fresh thread opened exactly one connection.
+            assert backend.open_connections == before + 3
+
+    def test_close_closes_every_connection(self, dblp_bundle):
+        schema = derive_schema(hybrid_inlining(dblp_bundle.tree))
+        backend = SQLiteBackend()
+        backend.load(schema, dblp_bundle.docs)
+        query = Translator(schema).translate(
+            parse_xpath("//inproceedings/title"))
+        threads = [threading.Thread(target=backend.execute, args=(query,))
+                   for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert backend.open_connections >= 3
+        backend.close()
+        assert backend.open_connections == 0
+        with pytest.raises(BackendError):
+            backend.execute(query)
+
+    def test_read_only_backend_rejects_writes(self, dblp_bundle, tmp_path):
+        schema = derive_schema(hybrid_inlining(dblp_bundle.tree))
+        path = str(tmp_path / "serve.db")
+        loader = SQLiteBackend(path)
+        loader.load(schema, dblp_bundle.docs)
+        loader.close()
+        with SQLiteBackend(path, read_only=True) as backend:
+            table = schema.table_names[0]
+            with pytest.raises(BackendError):
+                backend.execute_sql(f"DELETE FROM {table}")
+            # ... from worker threads too.
+            failures = []
+
+            def try_write() -> None:
+                try:
+                    backend.execute_sql(f"DELETE FROM {table}")
+                except BackendError:
+                    failures.append("rejected")
+
+            thread = threading.Thread(target=try_write)
+            thread.start()
+            thread.join()
+            assert failures == ["rejected"]
+
+
+# ----------------------------------------------------------------------
+# Satellite 2: the time_query warmup/exclusivity contract
+# ----------------------------------------------------------------------
+
+
+class TestTimeQueryContract:
+    def test_warmup_plus_timed_runs_on_calling_threads_connection(
+            self, dblp_serving):
+        schema, backend, _ = dblp_serving
+        query = Translator(schema).translate(
+            parse_xpath("//inproceedings/title"))
+        connection = backend._thread_connection()
+        statements = []
+        connection.set_trace_callback(statements.append)
+        try:
+            timing = backend.time_query(query, repeat=3, warmup=2)
+        finally:
+            connection.set_trace_callback(None)
+        # Every run (2 warmup + 3 timed) hit THIS thread's connection.
+        selects = [s for s in statements if s.lstrip().upper()
+                   .startswith("SELECT")]
+        assert len(selects) == 5
+        assert timing.rows > 0 and timing.seconds >= 0
+
+    def test_concurrent_time_query_calls_never_overlap(self, dblp_serving,
+                                                       monkeypatch):
+        schema, backend, _ = dblp_serving
+        query = Translator(schema).translate(
+            parse_xpath("//inproceedings/title"))
+        intervals = []
+        lock = threading.Lock()
+        import repro.backends.sqlite as sqlite_module
+        real_timed_runs = sqlite_module.timed_runs
+
+        def slow_timed_runs(fn, repeat, warmup):
+            start = time.perf_counter()
+            time.sleep(0.01)
+            timing = real_timed_runs(fn, repeat=repeat, warmup=warmup)
+            with lock:
+                intervals.append((start, time.perf_counter()))
+            return timing
+
+        monkeypatch.setattr(sqlite_module, "timed_runs", slow_timed_runs)
+        threads = [threading.Thread(
+            target=backend.time_query, args=(query,)) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(intervals) == 4
+        intervals.sort()
+        for (_, end), (next_start, _) in zip(intervals, intervals[1:]):
+            assert next_start >= end  # strictly one benchmark at a time
+
+    def test_execute_is_not_excluded_by_the_timing_lock(self, dblp_serving):
+        """The serve path must keep answering while a benchmark holds
+        the timing lock — they are different paths by contract."""
+        schema, backend, _ = dblp_serving
+        query = Translator(schema).translate(
+            parse_xpath("//inproceedings/title"))
+        assert backend._timing_lock.acquire(timeout=1)
+        try:
+            done = threading.Event()
+
+            def serve() -> None:
+                backend.execute(query)
+                done.set()
+
+            thread = threading.Thread(target=serve)
+            thread.start()
+            thread.join(timeout=5)
+            assert done.is_set()
+        finally:
+            backend._timing_lock.release()
+
+
+# ----------------------------------------------------------------------
+# The plan cache
+# ----------------------------------------------------------------------
+
+
+class TestPlanCache:
+    def test_hit_after_miss_and_key_stability(self, dblp_serving):
+        schema, _, _ = dblp_serving
+        cache = PlanCache(schema, capacity=8)
+        text = "//inproceedings/title"
+        first = cache.get_or_translate(text)
+        second = cache.get_or_translate(parse_xpath(text))
+        assert first is second
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert first.key == cache.key_for(parse_xpath(text))
+
+    def test_lru_eviction_and_retranslation(self, dblp_serving):
+        schema, backend, workload = dblp_serving
+        queries = [str(w.query) for w in workload.queries[:3]]
+        cache = PlanCache(schema, capacity=2)
+        plans = [cache.get_or_translate(q) for q in queries]
+        assert len(cache) == 2 and cache.evictions == 1
+        assert queries[0] not in cache  # the least recently used one
+        again = cache.get_or_translate(queries[0])
+        assert cache.misses == 4  # re-translated after eviction
+        assert again.sql == plans[0].sql  # translation is pure
+
+    def test_key_covers_the_mapping_digest(self, dblp_bundle):
+        hybrid = derive_schema(hybrid_inlining(dblp_bundle.tree))
+        split = derive_schema(fully_split(dblp_bundle.tree))
+        query = parse_xpath("//inproceedings/title")
+        assert (PlanCache(hybrid).key_for(query)
+                != PlanCache(split).key_for(query))
+
+    def test_concurrent_misses_settle_on_one_entry(self, dblp_serving):
+        schema, _, _ = dblp_serving
+        cache = PlanCache(schema, capacity=8)
+        barrier = threading.Barrier(4)
+        plans = []
+        lock = threading.Lock()
+
+        def translate() -> None:
+            barrier.wait()
+            plan = cache.get_or_translate("//inproceedings/title")
+            with lock:
+                plans.append(plan)
+
+        threads = [threading.Thread(target=translate) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(cache) == 1
+        assert len({id(p) for p in plans}) == 1  # first finisher won
+
+
+# ----------------------------------------------------------------------
+# The query service
+# ----------------------------------------------------------------------
+
+
+class TestQueryService:
+    def test_serves_translated_results_and_counts(self, dblp_bundle):
+        schema = derive_schema(hybrid_inlining(dblp_bundle.tree))
+        with QueryService(schema, dblp_bundle.docs, workers=2) as service:
+            text = "//inproceedings/title"
+            first = service.serve(text)
+            second = service.serve(text)
+            assert first.rows and first.rows == second.rows
+            assert not first.cached_plan and second.cached_plan
+            assert first.plan_key == second.plan_key
+            stats = service.stats()
+            assert stats.requests == 2 and stats.errors == 0
+            assert stats.latency["count"] == 2
+        with pytest.raises(ServiceError):
+            service.serve(text)
+
+    def test_errors_are_counted_and_raised(self, dblp_bundle):
+        schema = derive_schema(hybrid_inlining(dblp_bundle.tree))
+        with QueryService(schema, dblp_bundle.docs, workers=2) as service:
+            with pytest.raises(Exception):
+                service.serve("//no_such_element/anywhere")
+            assert service.stats().errors == 1
+
+    def test_file_backed_service_serves_read_only(self, dblp_bundle,
+                                                  tmp_path):
+        schema = derive_schema(hybrid_inlining(dblp_bundle.tree))
+        path = str(tmp_path / "design.db")
+        with QueryService(schema, dblp_bundle.docs, workers=2,
+                          db_path=path) as service:
+            result = service.serve("//inproceedings/title")
+            assert result.rows
+            assert service.backend.read_only
+            with pytest.raises(BackendError):
+                service.backend.execute_sql(
+                    f"DELETE FROM {schema.table_names[0]}")
+
+
+# ----------------------------------------------------------------------
+# Satellite 3: seed plumbing and load determinism
+# ----------------------------------------------------------------------
+
+
+class TestSeedDeterminism:
+    def test_mix_sampler_requires_an_explicit_seed(self, dblp_serving):
+        _, _, workload = dblp_serving
+        mix = zipf_mix(workload)
+        with pytest.raises(WorkloadError):
+            MixSampler(mix, None)
+        assert MixSampler(mix, 3).sequence(20) == \
+            MixSampler(mix, 3).sequence(20)
+        assert MixSampler(mix, 3).sequence(50) != \
+            MixSampler(mix, 4).sequence(50)
+
+    def test_zipf_mix_ranks_by_weight_deterministically(self):
+        workload = Workload("w", queries=[
+            WeightedQuery(parse_xpath("//a/b"), weight=1.0),
+            WeightedQuery(parse_xpath("//a/c"), weight=5.0),
+            WeightedQuery(parse_xpath("//a/d"), weight=5.0),
+        ])
+        mix = zipf_mix(workload, skew=1.0)
+        # Heaviest first; equal weights keep workload order.
+        assert [str(q) for q in mix.queries] == ["//a/c", "//a/d", "//a/b"]
+        assert mix.probabilities[0] > mix.probabilities[1] \
+            > mix.probabilities[2]
+        assert abs(sum(mix.probabilities) - 1.0) < 1e-12
+
+    def test_same_seed_same_sequence_across_concurrency(self, dblp_bundle):
+        """The reproducibility contract: the served query sequence is a
+        pure function of (mix, seed) — client/worker counts may only
+        change interleaving, never the schedule."""
+        schema = derive_schema(hybrid_inlining(dblp_bundle.tree))
+        workload = dblp_bundle.workload_generator(seed=SEED).generate(5)
+        mix = zipf_mix(workload)
+        digests = []
+        sequences = []
+        for clients, workers in ((2, 2), (5, 3)):
+            with QueryService(schema, dblp_bundle.docs,
+                              workers=workers) as service:
+                generator = LoadGenerator(service, mix, seed=41,
+                                          clients=clients)
+                report = generator.run(requests=60)
+                assert report.errors == 0
+                assert report.sequence == generator.schedule(60)
+                sequences.append(report.sequence)
+                digests.append(report.sequence_digest)
+        assert sequences[0] == sequences[1]
+        assert digests[0] == digests[1]
+
+    def test_open_loop_arrivals_have_their_own_stream(self, dblp_bundle):
+        """Arrival draws must never shift the query schedule: open and
+        closed loop runs with one seed serve the same sequence."""
+        schema = derive_schema(hybrid_inlining(dblp_bundle.tree))
+        workload = dblp_bundle.workload_generator(seed=SEED).generate(4)
+        mix = zipf_mix(workload)
+        with QueryService(schema, dblp_bundle.docs, workers=2) as service:
+            closed = LoadGenerator(service, mix, seed=9, mode="closed")
+            open_loop = LoadGenerator(service, mix, seed=9, mode="open",
+                                      rate=5000.0)
+            assert closed.schedule(30) == open_loop.schedule(30)
+            assert open_loop.arrival_gaps(30) == open_loop.arrival_gaps(30)
+            report = open_loop.run(requests=30)
+            assert report.sequence == closed.schedule(30)
+            assert report.errors == 0
+
+    def test_standard_suite_seed_offset_reseeds(self, dblp_bundle):
+        """Regression: seed_offset used to be dead — two generators must
+        produce identical suites for one offset, distinct for another."""
+        def suite(offset):
+            generator = dblp_bundle.workload_generator(seed=5)
+            return [[str(w.query) for w in workload.queries]
+                    for workload in generator.standard_suite(
+                        3, seed_offset=offset)]
+
+        assert suite(1) == suite(1)
+        assert suite(1) != suite(2)
+
+    def test_workload_generator_is_seed_deterministic(self, dblp_bundle):
+        first = dblp_bundle.workload_generator(seed=13).generate(6)
+        second = dblp_bundle.workload_generator(seed=13).generate(6)
+        assert [str(w.query) for w in first.queries] == \
+            [str(w.query) for w in second.queries]
+
+
+# ----------------------------------------------------------------------
+# Differential validation under load (both datasets, tiny cache)
+# ----------------------------------------------------------------------
+
+
+class TestDifferentialUnderLoad:
+    @pytest.mark.parametrize("dataset", ["dblp", "movie"])
+    def test_plan_cached_answers_match_the_engine(self, dataset):
+        """Every response — cached plan, translated plan, and
+        re-translated-after-eviction plan — must equal the engine
+        oracle's answer as a row multiset."""
+        bundle = _bundle(dataset)
+        schema = derive_schema(hybrid_inlining(bundle.tree))
+        workload = bundle.workload_generator(seed=SEED).generate(6)
+        mix = zipf_mix(workload)
+        engine = EngineBackend()
+        engine.load(schema, bundle.docs)
+        # Capacity 2 against 6 distinct queries forces evictions, so
+        # the run exercises translate → cache → evict → re-translate.
+        with QueryService(schema, bundle.docs, workers=3,
+                          plan_cache_size=2) as service:
+            report = LoadGenerator(service, mix, seed=17,
+                                   clients=3).run(requests=90)
+            assert report.errors == 0
+            assert service.plan_cache.evictions > 0
+            for query in mix.queries:
+                served = service.serve(query)
+                plan = service.plan_cache.get_or_translate(query)
+                missing, extra = multiset_diff(engine.execute(plan.sql),
+                                               served.rows)
+                assert not missing and not extra, \
+                    f"{dataset}: {query} diverges from the engine"
+
+
+# ----------------------------------------------------------------------
+# The load report and latency accounting
+# ----------------------------------------------------------------------
+
+
+class TestLoadReport:
+    def test_report_shape_and_serialization(self, dblp_bundle):
+        schema = derive_schema(hybrid_inlining(dblp_bundle.tree))
+        workload = dblp_bundle.workload_generator(seed=SEED).generate(4)
+        mix = zipf_mix(workload)
+        with QueryService(schema, dblp_bundle.docs, workers=2) as service:
+            report = LoadGenerator(service, mix, seed=3,
+                                   clients=2).run(requests=40)
+            assert len(report.records) == 40
+            assert report.qps > 0
+            assert 0 < report.cached_plan_rate <= 1.0
+            assert report.latency(50) <= report.latency(95) \
+                <= report.latency(99) <= report.latency(100)
+            payload = report.to_dict()
+            assert payload["requests"] == 40
+            assert payload["latency_seconds"]["p50"] >= 0
+            assert payload["sequence_digest"] == report.sequence_digest
+            text = report.describe()
+            assert "40 requests" in text and "QPS" in text
+            html = render_run_report(report, service,
+                                     meta={"dataset": "dblp"})
+            assert html.startswith("<!DOCTYPE html>")
+            assert report.sequence_digest in html
+            assert "Plan cache" in html and "Traffic by query" in html
+
+
+class TestLatencyHistogram:
+    def test_observe_and_percentiles(self):
+        histogram = LatencyHistogram("t")
+        for ms in (1, 1, 2, 5, 10, 50, 100, 500):
+            histogram.observe(ms / 1e3)
+        assert histogram.count == 8
+        assert histogram.max == pytest.approx(0.5)
+        assert 0 < histogram.percentile(50) <= histogram.percentile(95)
+        assert histogram.percentile(100) <= histogram.max + 1e-9
+        snapshot = histogram.snapshot()
+        assert set(snapshot) == {"count", "mean", "max",
+                                 "p50", "p95", "p99"}
+        assert sum(c for _, c in histogram.nonzero_buckets()) == 8
+
+    def test_out_of_range_values_clamp(self):
+        histogram = LatencyHistogram("t", lo=1e-3, hi=1.0)
+        histogram.observe(1e-9)   # below the first bucket
+        histogram.observe(100.0)  # beyond the last bound
+        assert histogram.count == 2
+        assert histogram.max == pytest.approx(100.0)
+        assert histogram.percentile(100) <= 100.0
+
+    def test_empty_histogram(self):
+        histogram = LatencyHistogram("t")
+        assert histogram.count == 0
+        assert histogram.percentile(99) == 0.0
+        assert histogram.snapshot()["mean"] == 0.0
+
+    def test_thread_safe_observe(self):
+        histogram = LatencyHistogram("t")
+
+        def observe() -> None:
+            for _ in range(500):
+                histogram.observe(0.001)
+
+        threads = [threading.Thread(target=observe) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert histogram.count == 2000
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+class TestServeCLI:
+    def test_serve_one_shot_query(self):
+        code, out = run_cli([
+            "serve", "--dataset", "dblp", "--scale", "60",
+            "--queries", "4", "--seed", "7",
+            "--xpath", "//inproceedings/title", "--limit", "2"])
+        assert code == 0
+        assert "rows in" in out and "translated plan" in out
+
+    def test_loadgen_smoke_verify_and_artifacts(self, tmp_path):
+        report_path = tmp_path / "run.html"
+        json_path = tmp_path / "run.json"
+        code, out = run_cli([
+            "loadgen", "--dataset", "dblp", "--scale", "60",
+            "--queries", "5", "--seed", "7", "--requests", "60",
+            "--clients", "2", "--workers", "2",
+            "--smoke", "--verify",
+            "--report", str(report_path), "--json", str(json_path)])
+        assert code == 0
+        assert "smoke OK" in out and "verify OK" in out
+        html = report_path.read_text(encoding="utf-8")
+        assert "Plan cache" in html
+        payload = json.loads(json_path.read_text(encoding="utf-8"))
+        assert payload["requests"] == 60 and payload["errors"] == 0
+        assert payload["qps"] > 0
+        assert payload["plan_cache"]["hits"] > 0
+
+    def test_loadgen_cli_is_seed_deterministic(self):
+        def digest() -> str:
+            code, out = run_cli([
+                "loadgen", "--dataset", "dblp", "--scale", "60",
+                "--queries", "5", "--seed", "21", "--requests", "40",
+                "--clients", "3"])
+            assert code == 0
+            line = [l for l in out.splitlines()
+                    if "sequence digest" in l][0]
+            return line.rsplit(":", 1)[1].strip()
+
+        assert digest() == digest()
