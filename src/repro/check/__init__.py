@@ -12,9 +12,14 @@ diagnostic codes (see docs/static-analysis.md). The passes double as
 debug-mode assertions inside the engine and the search (gated by
 ``REPRO_CHECK``, on by default under pytest) and as the ``repro check``
 CLI via :func:`lint_bundle`.
+
+A fourth family lints the repro *source code* itself —
+:mod:`repro.check.code` (DET/CONC/RES diagnostics via
+:func:`lint_source_tree`, driven by ``repro check --code``).
 """
 
 from .bundle import BundleReport, lint_bundle
+from .code import CodeReport, lint_source_tree
 from .findings import CODES, Finding, Findings, Severity
 from .mapping_checker import (check_mapping, check_schema, check_transform,
                               value_coverage)
@@ -25,10 +30,12 @@ from .sql_analyzer import analyze_query
 __all__ = [
     "BundleReport",
     "CODES",
+    "CodeReport",
     "Finding",
     "Findings",
     "Severity",
     "analyze_query",
+    "lint_source_tree",
     "check_mapping",
     "check_plan",
     "check_schema",

@@ -1,0 +1,113 @@
+"""Baseline (grandfathering) store for code-lint findings.
+
+A lint introduced onto an existing tree either starts red or starts
+lying. The baseline is the third option: known findings are committed
+to ``check_baseline.json`` with a per-entry justification, the CI gate
+fails only on *new* findings, and the baseline is expected to shrink
+to empty as the grandfathered sites are fixed.
+
+Keys are line-number-free — ``sha1(code | path | message)`` — so
+unrelated edits that shift a finding up or down a file do not break
+the match; any change to the finding itself (different code, file, or
+message, which embeds the symbol names) does.
+
+The file layout is canonical (sorted keys, two-space indent, trailing
+newline), so load → save round-trips byte-identically and diffs stay
+reviewable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..findings import Finding, Findings
+
+__all__ = ["Baseline", "BaselineEntry", "finding_key", "load_baseline",
+           "write_baseline"]
+
+BASELINE_VERSION = 1
+
+
+def finding_key(finding: Finding) -> str:
+    """Stable, line-number-free identity of one finding."""
+    path = finding.location.rsplit(":", 1)[0]
+    raw = f"{finding.code}|{path}|{finding.message}"
+    return hashlib.sha1(raw.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    key: str
+    code: str
+    location: str
+    message: str
+    justification: str = ""
+
+    def to_dict(self) -> dict[str, str]:
+        return {"key": self.key, "code": self.code,
+                "location": self.location, "message": self.message,
+                "justification": self.justification}
+
+
+@dataclass
+class Baseline:
+    """The committed set of grandfathered findings."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    @property
+    def keys(self) -> set[str]:
+        return {entry.key for entry in self.entries}
+
+    def apply(self, findings: Findings) -> tuple[Findings, Findings]:
+        """Split into ``(new, grandfathered)`` against this baseline."""
+        known = self.keys
+        fresh, matched = Findings(), Findings()
+        for finding in findings:
+            bucket = matched if finding_key(finding) in known else fresh
+            bucket.items.append(finding)
+        return fresh, matched
+
+    def to_json(self) -> str:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [entry.to_dict()
+                        for entry in sorted(self.entries,
+                                            key=lambda e: (e.location,
+                                                           e.code, e.key))],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_findings(cls, findings: Findings,
+                      justification: str = "") -> "Baseline":
+        return cls(entries=[
+            BaselineEntry(key=finding_key(f), code=f.code,
+                          location=f.location, message=f.message,
+                          justification=justification)
+            for f in findings])
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Load a baseline file; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return Baseline()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    entries = [BaselineEntry(key=e["key"], code=e["code"],
+                             location=e.get("location", ""),
+                             message=e.get("message", ""),
+                             justification=e.get("justification", ""))
+               for e in payload.get("entries", [])]
+    return Baseline(entries=entries)
+
+
+def write_baseline(path: str | Path, baseline: Baseline) -> Path:
+    path = Path(path)
+    path.write_text(baseline.to_json(), encoding="utf-8")
+    return path

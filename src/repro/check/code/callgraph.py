@@ -1,0 +1,308 @@
+"""Intraprocedural call graph and lock model for one module.
+
+The concurrency pass needs three structural facts about a module:
+
+* which functions exist (methods get ``Class.method`` qualnames, nested
+  functions ``outer.inner``),
+* which functions call which — resolved *within the module only*:
+  ``self.foo(...)`` to a method of the enclosing class, ``foo(...)`` to
+  an enclosing nested function or a module-level function. Calls
+  through other objects (``self.backend.execute(...)``) are opaque and
+  produce no edge;
+* where work is handed to other threads: the first positional argument
+  of any ``*.submit(fn, ...)`` call and the ``target=`` keyword of any
+  ``Thread(...)`` construction are *submit roots* — everything
+  reachable from them runs on a pool/worker thread.
+
+Locks are identified structurally: a ``with`` context expression whose
+final name contains ``"lock"`` (``with self._conn_lock:``,
+``with _REGISTRY_LOCK:``). Lock node ids are ``Class.attr`` for
+instance locks and ``module.name`` for module-level ones, so the
+cross-module lock-order graph (:class:`LockOrderGraph`) can merge
+acquisitions of the same lock from different files.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from .walker import SourceModule
+
+__all__ = ["FunctionUnit", "LockOrderGraph", "ModuleCallGraph",
+           "lock_name_of"]
+
+
+def lock_name_of(expr: ast.expr) -> str | None:
+    """The trailing identifier of a lock-like expression, else None."""
+    if isinstance(expr, ast.Attribute):
+        name = expr.attr
+    elif isinstance(expr, ast.Name):
+        name = expr.id
+    else:
+        return None
+    return name if "lock" in name.lower() else None
+
+
+@dataclass
+class FunctionUnit:
+    """One function/method definition inside a module."""
+
+    qualname: str                      # e.g. "QueryService._handle"
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: str | None             # enclosing class, if any
+    scope: tuple[str, ...]             # enclosing function qualnames
+
+
+@dataclass
+class LockSite:
+    """One ``A held while acquiring B`` observation."""
+
+    source: str                        # lock node id held
+    target: str                        # lock node id acquired under it
+    location: str                      # "path:line" of the acquisition
+
+
+class ModuleCallGraph:
+    """Functions, call edges, submit roots, and lock use of one module."""
+
+    def __init__(self, module: SourceModule):
+        self.module = module
+        self.functions: dict[str, FunctionUnit] = {}
+        self.edges: dict[str, set[str]] = {}
+        self.submit_roots: dict[str, str] = {}   # qualname -> site location
+        #: locks a function acquires directly: qualname -> set of lock ids
+        self.acquires: dict[str, set[str]] = {}
+        self._collect_functions(module.tree, class_name=None, scope=())
+        for unit in self.functions.values():
+            self._collect_calls(unit)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _collect_functions(self, node: ast.AST, class_name: str | None,
+                           scope: tuple[str, ...]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = ".".join(scope + (child.name,)) if scope else (
+                    f"{class_name}.{child.name}" if class_name
+                    else child.name)
+                self.functions[qual] = FunctionUnit(
+                    qualname=qual, node=child, class_name=class_name,
+                    scope=scope)
+                self._collect_functions(child, class_name,
+                                        scope + (qual,) if not scope
+                                        else scope + (child.name,))
+            elif isinstance(child, ast.ClassDef):
+                self._collect_functions(child, child.name, ())
+            elif not isinstance(child, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef, ast.Lambda)):
+                self._collect_functions(child, class_name, scope)
+
+    def _own_statements(self, unit: FunctionUnit) -> list[ast.AST]:
+        """Every node of ``unit`` excluding nested function bodies."""
+        out: list[ast.AST] = []
+        stack: list[ast.AST] = list(unit.node.body)
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested defs are their own units
+            stack.extend(ast.iter_child_nodes(node))
+        return out
+
+    def resolve_call(self, unit: FunctionUnit,
+                     func: ast.expr) -> str | None:
+        """Resolve a called/passed callable to a module qualname."""
+        if isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Name) and \
+                func.value.id in ("self", "cls") and unit.class_name:
+            qual = f"{unit.class_name}.{func.attr}"
+            return qual if qual in self.functions else None
+        if isinstance(func, ast.Name):
+            # innermost enclosing nested scope first, then module level
+            for depth in range(len(unit.scope), 0, -1):
+                qual = ".".join(unit.scope[:depth] + (func.id,))
+                if qual in self.functions:
+                    return qual
+            nested = f"{unit.qualname}.{func.id}"
+            if nested in self.functions:
+                return nested
+            if func.id in self.functions:
+                return func.id
+        return None
+
+    def _collect_calls(self, unit: FunctionUnit) -> None:
+        edges = self.edges.setdefault(unit.qualname, set())
+        acquires = self.acquires.setdefault(unit.qualname, set())
+        for node in self._own_statements(unit):
+            if isinstance(node, ast.Call):
+                target = self.resolve_call(unit, node.func)
+                if target is not None:
+                    edges.add(target)
+                self._note_submit(unit, node)
+            elif isinstance(node, ast.With):
+                for item in node.items:
+                    lock = self.lock_id(unit, item.context_expr)
+                    if lock is not None:
+                        acquires.add(lock)
+
+    def _note_submit(self, unit: FunctionUnit, call: ast.Call) -> None:
+        """Record submit/Thread(target=...) roots found in this call."""
+        candidates: list[ast.expr] = []
+        if isinstance(call.func, ast.Attribute) and \
+                call.func.attr == "submit" and call.args:
+            candidates.append(call.args[0])
+        callee_name = (call.func.attr if isinstance(call.func, ast.Attribute)
+                       else call.func.id if isinstance(call.func, ast.Name)
+                       else "")
+        if callee_name == "Thread":
+            for keyword in call.keywords:
+                if keyword.arg == "target":
+                    candidates.append(keyword.value)
+        for candidate in candidates:
+            qual = self.resolve_call(unit, candidate)
+            if qual is not None:
+                self.submit_roots.setdefault(
+                    qual, self.module.location(call))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def lock_id(self, unit: FunctionUnit, expr: ast.expr) -> str | None:
+        """Node id for a lock-like with-expression, else None."""
+        name = lock_name_of(expr)
+        if name is None:
+            return None
+        if isinstance(expr, ast.Attribute) and \
+                isinstance(expr.value, ast.Name) and \
+                expr.value.id in ("self", "cls"):
+            owner = unit.class_name or self.module.name
+            return f"{owner}.{name}"
+        if isinstance(expr, ast.Name):
+            return f"{self.module.name}.{name}"
+        return None
+
+    def reachable_from_submit(self) -> dict[str, str]:
+        """qualname -> submit-site location, transitively closed."""
+        reached: dict[str, str] = {}
+        frontier = list(self.submit_roots.items())
+        while frontier:
+            qual, site = frontier.pop()
+            if qual in reached:
+                continue
+            reached[qual] = site
+            for callee in sorted(self.edges.get(qual, ())):
+                if callee not in reached:
+                    frontier.append((callee, site))
+        return reached
+
+    def transitive_acquires(self) -> dict[str, set[str]]:
+        """qualname -> every lock it may acquire, following call edges."""
+        closure = {qual: set(locks)
+                   for qual, locks in self.acquires.items()}
+        changed = True
+        while changed:
+            changed = False
+            for qual, callees in self.edges.items():
+                bucket = closure.setdefault(qual, set())
+                for callee in callees:
+                    extra = closure.get(callee, set()) - bucket
+                    if extra:
+                        bucket.update(extra)
+                        changed = True
+        return closure
+
+
+class LockOrderGraph:
+    """Cross-module ``held -> acquired`` lock graph with cycle search."""
+
+    def __init__(self) -> None:
+        self.edges: dict[str, set[str]] = {}
+        self.sites: list[LockSite] = []
+
+    def add(self, source: str, target: str, location: str) -> None:
+        if source == target:
+            # re-entry of the same (non-reentrant) lock is a deadlock on
+            # its own; keep the self-edge so cycles() reports it.
+            pass
+        self.edges.setdefault(source, set()).add(target)
+        self.edges.setdefault(target, set())
+        self.sites.append(LockSite(source, target, location))
+
+    def observe(self, graph: ModuleCallGraph) -> None:
+        """Fold one module's nested acquisitions into the graph."""
+        transitive = graph.transitive_acquires()
+        for unit in graph.functions.values():
+            self._observe_function(graph, unit, transitive)
+
+    def _observe_function(self, graph: ModuleCallGraph, unit: FunctionUnit,
+                          transitive: dict[str, set[str]]) -> None:
+        def visit(node: ast.AST, held: tuple[str, ...]) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node is not unit.node:
+                return
+            if isinstance(node, ast.With):
+                inner = held
+                for item in node.items:
+                    lock = graph.lock_id(unit, item.context_expr)
+                    if lock is not None:
+                        for holder in inner:
+                            self.add(holder, lock,
+                                     graph.module.location(item.context_expr))
+                        inner = inner + (lock,)
+                for stmt in node.body:
+                    visit(stmt, inner)
+                return
+            if isinstance(node, ast.Call) and held:
+                callee = graph.resolve_call(unit, node.func)
+                if callee is not None:
+                    for lock in sorted(transitive.get(callee, ())):
+                        for holder in held:
+                            if holder != lock:
+                                self.add(holder, lock,
+                                         graph.module.location(node))
+            for child in ast.iter_child_nodes(node):
+                visit(child, held)
+
+        for stmt in unit.node.body:
+            visit(stmt, ())
+
+    # ------------------------------------------------------------------
+    def site_for(self, source: str, target: str) -> str:
+        for site in self.sites:
+            if site.source == source and site.target == target:
+                return site.location
+        return ""
+
+    def cycles(self) -> list[list[str]]:
+        """Every distinct lock-order cycle, as node-id paths.
+
+        Deterministic: nodes are explored in sorted order and each
+        cycle is rotated so its smallest node id comes first.
+        """
+        found: list[list[str]] = []
+        seen_keys: set[tuple[str, ...]] = set()
+
+        def canonical(path: list[str]) -> tuple[str, ...]:
+            pivot = path.index(min(path))
+            return tuple(path[pivot:] + path[:pivot])
+
+        def dfs(node: str, stack: list[str], on_stack: set[str]) -> None:
+            for nxt in sorted(self.edges.get(node, ())):
+                if nxt in on_stack:
+                    cycle = stack[stack.index(nxt):]
+                    key = canonical(cycle)
+                    if key not in seen_keys:
+                        seen_keys.add(key)
+                        found.append(list(key))
+                    continue
+                stack.append(nxt)
+                on_stack.add(nxt)
+                dfs(nxt, stack, on_stack)
+                on_stack.discard(nxt)
+                stack.pop()
+
+        for start in sorted(self.edges):
+            dfs(start, [start], {start})
+        return found

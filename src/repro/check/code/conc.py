@@ -1,0 +1,178 @@
+"""CONC0xx — concurrency lints.
+
+The serving and search layers hand work to thread pools; the contracts
+that keep them correct (every shared counter behind a lock, one SQLite
+connection per thread, one global lock order) are enforced here
+statically instead of only by the tests that happen to race them:
+
+* **CONC001** — module- or instance-level state written without a lock
+  from a function reachable from a ``submit``/``Thread(target=...)``
+  site (via the module's intraprocedural call graph). Writes through
+  ``threading.local()`` slots are naturally exempt (the target is not
+  ``self.attr``), as are writes lexically inside a ``with <...lock>:``
+  block.
+* **CONC002** — a ``sqlite3.connect()`` result stored on ``self`` and
+  then touched from a submit-reachable method: sqlite3 connections must
+  not cross threads; use a per-thread connection
+  (see ``repro.backends.sqlite``).
+* **CONC003** — a cycle in the cross-module lock-acquisition-order
+  graph (``A`` held while taking ``B`` somewhere, ``B`` held while
+  taking ``A`` elsewhere): the classic ABBA deadlock, detected from
+  nested ``with`` blocks and the calls made under them.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Findings
+from .callgraph import LockOrderGraph, ModuleCallGraph, lock_name_of
+from .walker import SourceModule
+
+__all__ = ["build_lock_order", "check_concurrency", "check_lock_order"]
+
+
+def _is_self_attribute(expr: ast.expr) -> bool:
+    return (isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self")
+
+
+def _write_targets(node: ast.AST) -> list[ast.expr]:
+    """The assignment targets of a statement, flattened."""
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    out: list[ast.expr] = []
+    for target in targets:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            out.extend(target.elts)
+        else:
+            out.append(target)
+    return out
+
+
+def _under_lock(module: SourceModule, node: ast.AST) -> bool:
+    """Is ``node`` lexically inside a ``with <something lock>`` body?"""
+    for ancestor in module.ancestors(node):
+        if isinstance(ancestor, ast.With):
+            for item in ancestor.items:
+                if lock_name_of(item.context_expr) is not None:
+                    return True
+    return False
+
+
+def _global_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Global):
+            names.update(node.names)
+    return names
+
+
+def _describe_target(target: ast.expr) -> str:
+    if isinstance(target, ast.Attribute):
+        return f"self.{target.attr}"
+    if isinstance(target, ast.Name):
+        return target.id
+    return ast.dump(target)
+
+
+def _connect_call(value: ast.expr) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    if isinstance(func, ast.Attribute) and func.attr == "connect" and \
+            isinstance(func.value, ast.Name) and func.value.id == "sqlite3":
+        return True
+    return isinstance(func, ast.Name) and func.id == "connect"
+
+
+def _connection_attrs(module: SourceModule,
+                      graph: ModuleCallGraph) -> dict[str, set[str]]:
+    """class name -> attrs assigned from ``sqlite3.connect(...)``."""
+    out: dict[str, set[str]] = {}
+    for unit in graph.functions.values():
+        if unit.class_name is None:
+            continue
+        for node in ast.walk(unit.node):
+            if isinstance(node, ast.Assign) and _connect_call(node.value):
+                for target in node.targets:
+                    if _is_self_attribute(target):
+                        assert isinstance(target, ast.Attribute)
+                        out.setdefault(unit.class_name,
+                                       set()).add(target.attr)
+    return out
+
+
+def check_concurrency(module: SourceModule,
+                      graph: ModuleCallGraph | None = None) -> Findings:
+    """CONC001 + CONC002 over one module."""
+    findings = Findings()
+    graph = graph if graph is not None else ModuleCallGraph(module)
+    reachable = graph.reachable_from_submit()
+    if not reachable:
+        return findings
+    conn_attrs = _connection_attrs(module, graph)
+
+    for qualname in sorted(reachable):
+        unit = graph.functions[qualname]
+        submit_site = reachable[qualname]
+        globals_here = _global_names(unit.node)
+        class_conns = conn_attrs.get(unit.class_name or "", set())
+        flagged_conns: set[str] = set()
+        for node in graph._own_statements(unit):
+            # CONC001 — unprotected shared-state writes
+            for target in _write_targets(node):
+                shared = (_is_self_attribute(target)
+                          or (isinstance(target, ast.Name)
+                              and target.id in globals_here))
+                if shared and not _under_lock(module, node):
+                    findings.add(
+                        "CONC001",
+                        f"{_describe_target(target)} written in "
+                        f"{qualname}() without holding a lock; the "
+                        f"function is reachable from the submit site at "
+                        f"{submit_site}",
+                        module.location(node))
+            # CONC002 — cross-thread sqlite3 connection use
+            if isinstance(node, ast.Attribute) and \
+                    _is_self_attribute(node) and \
+                    node.attr in class_conns and \
+                    node.attr not in flagged_conns and \
+                    isinstance(node.ctx, ast.Load):
+                flagged_conns.add(node.attr)
+                findings.add(
+                    "CONC002",
+                    f"sqlite3 connection self.{node.attr} (created in "
+                    f"another thread) used in {qualname}(), which runs "
+                    f"on a pool thread (submitted at {submit_site}); "
+                    f"sqlite3 connections must stay on their creating "
+                    f"thread — open one per thread instead",
+                    module.location(node))
+    return findings
+
+
+def build_lock_order(modules: list[SourceModule]) -> LockOrderGraph:
+    """The merged cross-module lock-acquisition-order graph."""
+    graph = LockOrderGraph()
+    for module in modules:
+        graph.observe(ModuleCallGraph(module))
+    return graph
+
+
+def check_lock_order(modules: list[SourceModule]) -> Findings:
+    """CONC003 — report every cycle in the lock-order graph."""
+    findings = Findings()
+    graph = build_lock_order(modules)
+    for cycle in graph.cycles():
+        path = " -> ".join(cycle + [cycle[0]])
+        location = graph.site_for(cycle[0], cycle[1 % len(cycle)])
+        findings.add(
+            "CONC003",
+            f"lock acquisition order cycle: {path}; two call paths "
+            f"acquire these locks in opposite orders (ABBA deadlock)",
+            location)
+    return findings

@@ -1,0 +1,180 @@
+"""DET0xx — determinism lints.
+
+The reproduction's core promise is that the same workload always
+yields the same design (same digests, same cache keys, same reports).
+Hidden nondeterminism breaks that silently, so this pass flags the
+stdlib constructs it can creep in through:
+
+* **DET001** — an unseeded random source: the module-level ``random.*``
+  functions (they share one ambient, unseeded generator),
+  ``random.Random()`` constructed without a seed, or
+  ``random.SystemRandom`` (nondeterministic by design). Seeded
+  ``random.Random(seed)`` streams are the sanctioned pattern.
+* **DET002** — wall-clock reads (``time.time``, ``datetime.now``,
+  ``datetime.utcnow``): their values differ run to run, so any that
+  reach a result, digest, or cache key destroy reproducibility.
+  ``time.perf_counter``/``monotonic`` (durations) are fine.
+* **DET003** — iterating a ``set``/``frozenset`` directly (``for``,
+  comprehensions, ``list()``/``tuple()``/``join()``): set order
+  depends on ``PYTHONHASHSEED``. Wrap the set in ``sorted()``.
+* **DET004** — consuming a directory listing (``os.listdir``,
+  ``glob``/``iglob``/``rglob``, ``iterdir``, ``scandir``) without
+  ``sorted()``: filesystem order is platform- and history-dependent.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Findings
+from .walker import SourceModule
+
+__all__ = ["check_determinism"]
+
+#: Module-level random functions that draw from the shared global RNG.
+_GLOBAL_RNG_FNS = frozenset({
+    "random", "randint", "randrange", "randbytes", "getrandbits",
+    "choice", "choices", "shuffle", "sample", "uniform", "triangular",
+    "betavariate", "expovariate", "gammavariate", "gauss", "normalvariate",
+    "lognormvariate", "vonmisesvariate", "paretovariate", "weibullvariate",
+    "seed",
+})
+
+#: Dotted call targets that read the wall clock.
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "date.today", "datetime.date.today",
+})
+
+#: Callables whose result does not depend on iteration order, so an
+#: unordered iterable is fine as their argument.
+_ORDER_NEUTRAL = frozenset({
+    "sorted", "len", "max", "min", "sum", "any", "all",
+    "set", "frozenset", "Counter",
+})
+
+_LISTING_ATTRS = frozenset({
+    "listdir", "scandir", "iterdir", "glob", "iglob", "rglob",
+})
+
+
+def _dotted(expr: ast.expr) -> str | None:
+    """``a.b.c`` for a pure attribute chain on a name, else None."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _is_set_expression(expr: ast.expr) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id in ("set", "frozenset"))
+
+
+def _order_neutral_parent(module: SourceModule, node: ast.AST) -> bool:
+    """Is ``node`` directly an argument of an order-neutral call?"""
+    parent = module.parent(node)
+    return (isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id in _ORDER_NEUTRAL
+            and node in parent.args)
+
+
+def check_determinism(module: SourceModule) -> Findings:
+    findings = Findings()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            _check_call(module, node, findings)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            _check_iteration(module, node.iter, findings)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for generator in node.generators:
+                _check_iteration(module, generator.iter, findings)
+    return findings
+
+
+def _check_call(module: SourceModule, node: ast.Call,
+                findings: Findings) -> None:
+    dotted = _dotted(node.func)
+
+    # DET001 — unseeded randomness
+    if dotted is not None and dotted.startswith("random."):
+        tail = dotted.split(".", 1)[1]
+        if tail in _GLOBAL_RNG_FNS:
+            findings.add(
+                "DET001",
+                f"module-level random.{tail}() draws from the shared "
+                f"unseeded generator; use a seeded random.Random(seed)",
+                module.location(node))
+        elif tail == "Random" and not node.args and not node.keywords:
+            findings.add(
+                "DET001",
+                "random.Random() constructed without a seed",
+                module.location(node))
+        elif tail == "SystemRandom":
+            findings.add(
+                "DET001",
+                "random.SystemRandom is nondeterministic by design",
+                module.location(node))
+    elif isinstance(node.func, ast.Name) and node.func.id == "Random" \
+            and not node.args and not node.keywords:
+        findings.add("DET001", "Random() constructed without a seed",
+                     module.location(node))
+
+    # DET002 — wall clock
+    if dotted is not None and dotted in _WALL_CLOCK:
+        findings.add(
+            "DET002",
+            f"{dotted}() reads the wall clock; results that embed it "
+            f"differ run to run (use perf_counter/monotonic for "
+            f"durations, or pass timestamps in)",
+            module.location(node))
+
+    # DET003 — set fed to an order-sensitive consumer
+    if isinstance(node.func, ast.Name) and node.func.id in ("list", "tuple"):
+        for arg in node.args:
+            if _is_set_expression(arg):
+                findings.add(
+                    "DET003",
+                    f"{node.func.id}() over a set preserves hash order; "
+                    f"wrap the set in sorted()",
+                    module.location(arg))
+    if isinstance(node.func, ast.Attribute) and node.func.attr == "join":
+        for arg in node.args:
+            if _is_set_expression(arg):
+                findings.add(
+                    "DET003",
+                    "join() over a set concatenates in hash order; "
+                    "wrap the set in sorted()",
+                    module.location(arg))
+
+    # DET004 — unsorted directory listing
+    if isinstance(node.func, ast.Attribute) and \
+            node.func.attr in _LISTING_ATTRS and \
+            not _order_neutral_parent(module, node):
+        findings.add(
+            "DET004",
+            f"{node.func.attr}() returns entries in filesystem order; "
+            f"wrap the call in sorted()",
+            module.location(node))
+
+
+def _check_iteration(module: SourceModule, iterable: ast.expr,
+                     findings: Findings) -> None:
+    if _is_set_expression(iterable):
+        findings.add(
+            "DET003",
+            "iteration over a set follows hash order; "
+            "wrap the set in sorted()",
+            module.location(iterable))

@@ -1,0 +1,118 @@
+"""Source-tree loading for the code lints.
+
+The code passes (:mod:`det`, :mod:`conc`, :mod:`res`) all walk stdlib
+``ast`` trees of the repro source itself. This module owns the shared
+plumbing: discovering ``.py`` files under a lint root in a
+deterministic (sorted) order, parsing each into a :class:`SourceModule`
+that carries a parent map (stdlib ``ast`` nodes do not know their
+parents), and honoring inline suppression pragmas.
+
+Suppression pragma
+------------------
+
+A finding can be silenced at its site with a comment, either on the
+offending line or on the line directly above it::
+
+    risky_call()  # lint: allow(DET002) - wall clock is the payload here
+
+Passes never read the pragma themselves; :func:`SourceModule.suppressed`
+is applied once by :func:`repro.check.code.lint_source_tree`, so every
+suppression is counted and reported instead of vanishing.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["SourceModule", "load_module", "load_source_tree",
+           "iter_source_files", "parent_map"]
+
+_ALLOW_RE = re.compile(
+    r"#\s*lint:\s*allow\(\s*([A-Z]{3,4}\d{3}(?:\s*,\s*[A-Z]{3,4}\d{3})*)\s*\)")
+
+
+def parent_map(tree: ast.AST) -> dict[ast.AST, ast.AST]:
+    """Child node -> parent node, for upward navigation."""
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _suppressions(source: str) -> dict[int, set[str]]:
+    """Line number -> codes allowed on that line (pragma comments)."""
+    out: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _ALLOW_RE.search(line)
+        if match:
+            codes = {c.strip() for c in match.group(1).split(",")}
+            out.setdefault(lineno, set()).update(codes)
+    return out
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file plus the lint bookkeeping around it."""
+
+    path: Path                    # absolute file path
+    rel: str                      # posix path relative to the lint root
+    name: str                     # dotted module name under the root
+    tree: ast.Module
+    parents: dict[ast.AST, ast.AST] = field(repr=False)
+    suppressions: dict[int, set[str]] = field(repr=False)
+
+    def location(self, node: ast.AST) -> str:
+        lineno = getattr(node, "lineno", 0)
+        return f"{self.rel}:{lineno}"
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self.parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def suppressed(self, node: ast.AST, code: str) -> bool:
+        """Is ``code`` pragma-allowed on this node's line (or above it)?"""
+        lineno = getattr(node, "lineno", None)
+        if lineno is None:
+            return False
+        for candidate in (lineno, lineno - 1):
+            if code in self.suppressions.get(candidate, set()):
+                return True
+        return False
+
+
+def iter_source_files(root: Path) -> list[Path]:
+    """Every ``.py`` file under ``root``, sorted (deterministic)."""
+    if root.is_file():
+        return [root]
+    return [p for p in sorted(root.rglob("*.py"))
+            if "__pycache__" not in p.parts]
+
+
+def load_module(path: Path, root: Path) -> SourceModule:
+    """Parse one file; raises :class:`SyntaxError` on unparsable input."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    if path == root:
+        rel = path.name
+    else:
+        rel = path.relative_to(root).as_posix()
+    name = rel[:-3].replace("/", ".").removesuffix(".__init__")
+    return SourceModule(path=path, rel=rel, name=name, tree=tree,
+                        parents=parent_map(tree),
+                        suppressions=_suppressions(source))
+
+
+def load_source_tree(root: str | Path) -> list[SourceModule]:
+    """Parse every source file under ``root``, in sorted path order."""
+    root = Path(root).resolve()
+    return [load_module(path, root) for path in iter_source_files(root)]

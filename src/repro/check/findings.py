@@ -64,6 +64,27 @@ CODES: dict[str, tuple[Severity, str]] = {
     # -- translation (bundle lint only) --------------------------------
     "XLT001": (Severity.ERROR, "workload query cannot be translated or "
                                "planned under this mapping"),
+    # -- code lint: determinism (repro.check.code.det) ------------------
+    "DET001": (Severity.WARNING, "unseeded random source (module-level "
+                                 "random.*, Random() without a seed)"),
+    "DET002": (Severity.WARNING, "wall-clock read (time.time / "
+                                 "datetime.now) in library code"),
+    "DET003": (Severity.WARNING, "iteration over an unordered set "
+                                 "without sorted()"),
+    "DET004": (Severity.WARNING, "directory listing consumed without "
+                                 "sorted()"),
+    # -- code lint: concurrency (repro.check.code.conc) -----------------
+    "CONC001": (Severity.ERROR, "shared mutable state written without a "
+                                "lock on a thread-pool-reachable path"),
+    "CONC002": (Severity.ERROR, "sqlite3 connection escapes the thread "
+                                "that created it"),
+    "CONC003": (Severity.ERROR, "lock acquisition order cycle (ABBA "
+                                "deadlock)"),
+    # -- code lint: resources/exceptions (repro.check.code.res) ---------
+    "RES001": (Severity.WARNING, "broad except neither re-raises nor "
+                                 "routes through note_suppressed"),
+    "RES002": (Severity.WARNING, "open()/connect() result without "
+                                 "with/close on all paths"),
 }
 
 
@@ -105,6 +126,21 @@ class Findings:
     def extend(self, other: "Findings") -> "Findings":
         self.items.extend(other.items)
         return self
+
+    def dedupe(self) -> "Findings":
+        """A copy with exact duplicates removed, first occurrence kept.
+
+        Two passes (or one pass visiting a node twice) may report the
+        identical (code, severity, message, location) tuple; collection
+        consumers suppress the copies rather than double-counting.
+        """
+        seen: set[Finding] = set()
+        out = Findings()
+        for finding in self.items:
+            if finding not in seen:
+                seen.add(finding)
+                out.items.append(finding)
+        return out
 
     def __add__(self, other: "Findings") -> "Findings":
         return Findings(self.items + other.items)

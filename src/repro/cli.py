@@ -272,6 +272,44 @@ def cmd_cache(args, out=None) -> int:
     return 0
 
 
+def _cmd_check_code(args, out) -> int:
+    import json
+
+    from .check.code import (Baseline, lint_source_tree, load_baseline,
+                             write_baseline)
+
+    baseline_path = Path(args.baseline) if args.baseline else None
+    baseline = load_baseline(baseline_path) if baseline_path else None
+    root = Path(args.path) if args.path else None
+    report = lint_source_tree(root, baseline=baseline)
+    if args.write_baseline:
+        target = baseline_path or Path("check_baseline.json")
+        # Re-baseline everything currently reported, keeping entries
+        # that still match. Justifications must be filled in by hand.
+        combined = report.grandfathered + report.findings
+        write_baseline(target, Baseline.from_findings(
+            combined, justification="TODO: justify or fix"))
+        print(f"wrote {len(combined)} entr(ies) to {target}", file=out)
+        return 0
+    if args.json:
+        print(json.dumps({
+            "ok": report.ok,
+            "modules_checked": report.modules_checked,
+            "inline_suppressed": report.inline_suppressed,
+            "grandfathered": report.grandfathered.to_dicts(),
+            "findings": report.findings.to_dicts(),
+        }, indent=2), file=out)
+    else:
+        if report.findings:
+            print(report.findings.render(), file=out)
+        print(report.summary(), file=out)
+    if report.findings.errors:
+        return 1
+    if args.strict and report.findings.warnings:
+        return 1
+    return 0
+
+
 def cmd_check(args, out=None) -> int:
     import json
 
@@ -279,6 +317,8 @@ def cmd_check(args, out=None) -> int:
     from .workload import Workload
 
     out = out or sys.stdout
+    if args.code:
+        return _cmd_check_code(args, out)
     if args.dataset:
         from .experiments import DatasetBundle
         bundle = (DatasetBundle.dblp(scale=args.scale, seed=args.seed)
@@ -698,6 +738,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit findings as JSON")
     p_check.add_argument("--strict", action="store_true",
                          help="exit non-zero on warnings too")
+    p_check.add_argument("--code", action="store_true",
+                         help="lint the repro source code itself "
+                              "(DET/CONC/RES) instead of a bundle")
+    p_check.add_argument("--path", default=None,
+                         help="source root for --code (default: the "
+                              "installed repro package)")
+    p_check.add_argument("--baseline", default=None,
+                         help="baseline JSON for --code; matching "
+                              "findings are grandfathered, not fresh")
+    p_check.add_argument("--write-baseline", action="store_true",
+                         help="with --code: write all current findings "
+                              "to the baseline file and exit 0")
     p_check.set_defaults(func=cmd_check)
 
     p_exp = sub.add_parser("experiment", help="run a paper experiment")

@@ -32,6 +32,7 @@ from pathlib import Path
 
 from ..obs import NullTracer, Tracer, get_tracer
 from .faults import active_fault_plan
+from .policy import note_suppressed
 
 __all__ = ["CheckpointStore"]
 
@@ -93,8 +94,9 @@ class CheckpointStore:
             return None
         try:
             state = pickle.loads(payload)
-        except Exception:
+        except Exception as exc:
             # Torn/corrupt checkpoint: recoverable — start fresh.
+            note_suppressed(exc, "checkpoint.load", self.tracer)
             self._metrics.incr("corrupt")
             self.tracer.event("checkpoint_corrupt", path=str(self.path))
             return None

@@ -45,7 +45,7 @@ from pathlib import Path
 
 from ..mapping import CollectedStats
 from ..obs import NullTracer, Tracer, get_tracer
-from ..resilience import active_fault_plan
+from ..resilience import active_fault_plan, note_suppressed
 from ..workload import Workload
 
 __all__ = ["CacheKey", "EvaluationCache", "default_cache_dir",
@@ -169,11 +169,12 @@ class EvaluationCache:
             return False, None
         try:
             value = pickle.loads(payload)
-        except Exception:
+        except Exception as exc:
             # A truncated/stale entry behaves like a miss and is removed
             # so it cannot mask itself as warm forever. The recovery is
             # recorded durably (``recoveries.log``) so ``repro cache
             # report`` can surface how often the store healed itself.
+            note_suppressed(exc, "evalcache.load", self.tracer)
             path.unlink(missing_ok=True)
             self._record_recovery(path)
             self._metrics.incr("corrupt_entries")

@@ -180,7 +180,7 @@ class CandidateSelector:
         if not predicates or predicate_option_ids == {None}:
             proj_options = [options.get(leaf.node_id) for leaf in projections]
             if proj_options and all(o is not None for o in proj_options):
-                for option in {o.node_id for o in proj_options}:
+                for option in sorted({o.node_id for o in proj_options}):
                     add_split(UnionDistribute(UnionDistribution(
                         optional_ids=frozenset({option}))))
 

@@ -31,6 +31,7 @@ from ..mapping import MappedSchema
 from ..obs import (LatencyHistogram, NullMetricRegistry, NullTracer,
                    Tracer, get_tracer)
 from ..physdesign import Configuration
+from ..resilience import note_suppressed
 from ..xpath import XPathQuery
 from .plan_cache import PlanCache
 
@@ -115,18 +116,16 @@ class QueryService:
         self._count_lock = threading.Lock()
 
         with self.tracer.span("serve.startup", workers=workers):
+            loader = SQLiteBackend(db_path or ":memory:",
+                                   tracer=self.tracer)
+            loader.load(schema, docs)
+            loader.apply_configuration(self.configuration)
             if db_path is None:
-                self.backend = SQLiteBackend(tracer=self.tracer)
-                loader = self.backend
+                self.backend: SQLiteBackend = loader
             else:
                 # Load and build DDL through a writable connection,
                 # then serve through read-only worker connections on
                 # the same file.
-                loader = SQLiteBackend(db_path, tracer=self.tracer)
-                self.backend = None  # assigned after the load below
-            loader.load(schema, docs)
-            loader.apply_configuration(self.configuration)
-            if db_path is not None:
                 loader.close()
                 self.backend = SQLiteBackend(db_path, tracer=self.tracer,
                                              read_only=True)
@@ -158,7 +157,11 @@ class QueryService:
     def _handle_counted(self, xpath: XPathQuery | str) -> ServeResult:
         try:
             return self._handle(xpath)
-        except Exception:
+        except Exception as exc:
+            # The failure is re-raised to the caller's Future, but it is
+            # also classified and counted here so per-service error
+            # accounting survives callers that drop their futures.
+            note_suppressed(exc, "serve.request", self.tracer)
             self._metrics.incr("errors")
             with self._count_lock:
                 self._errors += 1

@@ -1,0 +1,22 @@
+"""Planted ABBA lock-order inversion for the CONC003 regression test.
+
+``take_ab`` acquires A then B; ``take_ba`` acquires B then A. The
+cross-module lock-order graph must contain the two-lock cycle.
+"""
+
+import threading
+
+_order_lock_a = threading.Lock()
+_order_lock_b = threading.Lock()
+
+
+def take_ab() -> None:
+    with _order_lock_a:
+        with _order_lock_b:
+            pass
+
+
+def take_ba() -> None:
+    with _order_lock_b:
+        with _order_lock_a:
+            pass

@@ -1,0 +1,45 @@
+"""Planted code-lint violations — one per DET/CONC/RES family.
+
+This file is never imported by the package or collected by pytest; the
+``code-lint`` CI job and ``tests/test_check_code.py`` lint it with
+``repro check --code --path`` and assert that each planted violation
+comes back. If a pass regresses into silence, the gate fails.
+"""
+
+import random
+import sqlite3
+from concurrent.futures import ThreadPoolExecutor
+
+
+def planted_det() -> float:
+    # DET001: draws from the shared, unseeded module-level generator.
+    return random.random()
+
+
+class PlantedWorker:
+    """Carries the CONC001 and CONC002 plants."""
+
+    def __init__(self) -> None:
+        self.counter = 0
+        self.conn = sqlite3.connect(":memory:")
+
+    def work(self) -> int:
+        # CONC001: shared write, no lock, reachable from submit().
+        self.counter += 1
+        # CONC002: the __init__-thread connection used on a pool thread.
+        self.conn.execute("SELECT 1")
+        return self.counter
+
+    def run(self) -> None:
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            pool.submit(self.work)
+
+
+def planted_res(path: str) -> str:
+    try:
+        # RES002: no ``with``, never closed, never handed off.
+        handle = open(path)
+        return handle.read()
+    except Exception:
+        # RES001: swallowed — no re-raise, no note_suppressed.
+        return ""

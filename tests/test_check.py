@@ -59,6 +59,49 @@ class TestFindings:
             assert isinstance(severity, Severity)
             assert summary
 
+    def test_dedupe_drops_exact_duplicates_only(self):
+        findings = Findings()
+        findings.add("SQL001", "boom", "select[0]")
+        findings.add("SQL001", "boom", "select[0]")     # exact duplicate
+        findings.add("SQL001", "boom", "select[1]")     # different site
+        findings.add("SQL009", "null compare")
+        deduped = findings.dedupe()
+        assert len(findings) == 4                        # original intact
+        assert [(f.code, f.location) for f in deduped] == \
+            [("SQL001", "select[0]"), ("SQL001", "select[1]"),
+             ("SQL009", "")]
+
+    def test_baseline_load_reemit_identical(self, tmp_path):
+        from repro.check.code import (Baseline, load_baseline,
+                                      write_baseline)
+        findings = Findings()
+        findings.add("DET001", "unseeded", "b.py:2")
+        findings.add("RES001", "swallowed", "a.py:9")
+        path = write_baseline(
+            tmp_path / "b.json",
+            Baseline.from_findings(findings, "legacy"))
+        original = path.read_text()
+        write_baseline(path, load_baseline(path))
+        assert path.read_text() == original
+        assert "legacy" in original
+
+    def test_code_lint_strict_exit_codes(self, tmp_path):
+        # Warnings pass by default; --strict turns them into failure;
+        # errors fail either way.
+        from repro.cli import main
+        (tmp_path / "warn.py").write_text(
+            "import random\nVALUE = random.random()\n")
+        assert main(["check", "--code", "--path", str(tmp_path)]) == 0
+        assert main(["check", "--code", "--strict",
+                     "--path", str(tmp_path)]) == 1
+        (tmp_path / "err.py").write_text(
+            "class S:\n"
+            "    def work(self):\n"
+            "        self.n += 1\n"
+            "    def run(self, pool):\n"
+            "        pool.submit(self.work)\n")
+        assert main(["check", "--code", "--path", str(tmp_path)]) == 1
+
 
 # ----------------------------------------------------------------------
 # Gating and enforcement
