@@ -5,10 +5,13 @@ Loads a mapped schema's shredded tables into one SQLite database
 ``CREATE INDEX``; join views and partitions as populated tables), and
 executes translated queries with warmup/repetition wall-clock timing.
 
-Data loading goes through :func:`repro.mapping.shred_typed_rows` — the
-same shred-and-coerce step the in-memory engine uses — so both backends
-see byte-identical rows, and any result divergence is a semantics bug,
-never a loading artifact.
+Data loading streams through :func:`repro.mapping.shred_typed_batches`
+— the same shred-and-coerce step the in-memory engine uses — in chunked
+``executemany`` calls inside sized transactions (WAL journaling on
+file-backed databases), so both backends see byte-identical rows, any
+result divergence is a semantics bug rather than a loading artifact,
+and peak load memory is bounded by the batch size, not the document
+(docs/scaling.md).
 
 Concurrency model
 -----------------
@@ -48,7 +51,7 @@ import threading
 
 from ..engine import Database
 from ..errors import ReproError
-from ..mapping import MappedSchema, shred_typed_rows
+from ..mapping import MappedSchema, Shredder, shred_typed_batches
 from ..obs import NullTracer, Tracer, get_tracer
 from ..physdesign import Configuration
 from ..sqlast import Query
@@ -72,6 +75,13 @@ def _storable(value):
 #: Distinguishes the shared-cache URIs of concurrently live in-memory
 #: backends within one process (the pid covers forked workers).
 _MEMORY_SERIAL = itertools.count(1)
+
+#: Rows per executemany chunk during bulk load.
+DEFAULT_LOAD_BATCH = 10_000
+
+#: Rows per load transaction (several chunks are committed together so
+#: small batch sizes don't pay per-batch fsync/commit overhead).
+DEFAULT_TXN_ROWS = 50_000
 
 
 class SQLiteBackend:
@@ -110,7 +120,14 @@ class SQLiteBackend:
         self.connection.execute("PRAGMA synchronous = OFF")
         if path == ":memory:":
             self.connection.execute("PRAGMA journal_mode = MEMORY")
+        elif not read_only:
+            # WAL keeps bulk-load transactions cheap on file-backed
+            # databases and lets read-only serving connections coexist
+            # with a writer. (Read-only opens cannot switch modes.)
+            self.connection.execute("PRAGMA journal_mode = WAL")
         self._tables: list[str] = []
+        #: Rows loaded per table across all load calls.
+        self.row_counts: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Connections
@@ -148,14 +165,52 @@ class SQLiteBackend:
     # ------------------------------------------------------------------
     # Loading
     # ------------------------------------------------------------------
-    def load(self, schema: MappedSchema, docs) -> None:
-        """Shred the documents and bulk-load every mapped table."""
+    def load(self, schema: MappedSchema, docs, *,
+             batch_size: int = DEFAULT_LOAD_BATCH,
+             txn_rows: int = DEFAULT_TXN_ROWS,
+             append: bool = False) -> None:
+        """Shred the documents and bulk-load every mapped table.
+
+        Rows stream through :func:`repro.mapping.shred_typed_batches`
+        in ``batch_size`` chunks fed to ``executemany``, with a commit
+        every ``txn_rows`` rows — so peak memory is bounded by the
+        batch size, never the document size. A second ``load()`` on the
+        same backend raises :class:`BackendError` unless
+        ``append=True``, which keeps the existing tables and appends
+        (the caller owns ID continuity — see the shredder's
+        ``continue_ids`` contract).
+        """
         with self.tracer.span("backend.load", backend=self.name) as span:
-            typed = shred_typed_rows(schema, docs)
-            loaded = 0
-            for table in schema.to_engine_tables():
-                rows = typed.get(table.name, [])
-                loaded += self._create_and_fill(table, rows)
+            inserts = {}
+            engine_tables = schema.to_engine_tables()
+            for table in engine_tables:
+                self._ensure_table(table, append=append)
+                inserts[table.name] = insert_sql(table)
+            shredder = Shredder(schema)
+            if append:
+                # Continue element-ID numbering above everything already
+                # stored, so appended rows keep globally unique IDs (and
+                # valid PID references) even across backend instances.
+                shredder.reset_ids(self._max_stored_id(engine_tables) + 1)
+            loaded = pending = 0
+            try:
+                for name, rows in shred_typed_batches(schema, docs,
+                                                      batch_size,
+                                                      continue_ids=append,
+                                                      shredder=shredder):
+                    self.connection.executemany(
+                        inserts[name],
+                        [tuple(_storable(v) for v in row) for row in rows])
+                    self.row_counts[name] = (self.row_counts.get(name, 0)
+                                             + len(rows))
+                    loaded += len(rows)
+                    pending += len(rows)
+                    if pending >= txn_rows:
+                        self.connection.commit()
+                        self._metrics.incr("load_commits")
+                        pending = 0
+            except sqlite3.Error as exc:
+                raise BackendError(f"bulk load failed: {exc}") from exc
             self.connection.commit()
             span.set("rows", loaded)
             self._metrics.incr("rows_loaded", loaded)
@@ -171,9 +226,64 @@ class SQLiteBackend:
             span.set("rows", loaded)
             self._metrics.incr("rows_loaded", loaded)
 
-    def _create_and_fill(self, table, rows: list[tuple]) -> int:
+    def _max_stored_id(self, tables) -> int:
+        """Largest element ID currently stored in any mapped table."""
+        best = 0
+        for table in tables:
+            if not any(c.name == "ID" for c in table.columns):
+                continue
+            try:
+                row = self.connection.execute(
+                    f'SELECT MAX("ID") FROM "{table.name}"').fetchone()
+            except sqlite3.Error as exc:
+                raise BackendError(
+                    f"reading max ID of {table.name!r} failed: "
+                    f"{exc}") from exc
+            if row and row[0] is not None:
+                best = max(best, int(row[0]))
+        return best
+
+    def _ensure_table(self, table, append: bool = False) -> None:
+        """Create ``table``; an existing one is an error unless appending.
+
+        "Existing" covers both a previous ``load()`` on this backend
+        and a table already present in a file-backed database opened by
+        a fresh backend — either way the caller gets a clear
+        :class:`BackendError` instead of sqlite's raw "table already
+        exists", and ``append=True`` turns both into an append-load.
+        """
+        if table.name not in self._tables and self._table_on_disk(table.name):
+            self._tables.append(table.name)
+            self.row_counts.setdefault(table.name, 0)
+        if table.name in self._tables:
+            if append:
+                return
+            raise BackendError(
+                f"table {table.name!r} already exists on this backend; "
+                f"load() is one-shot per database — pass append=True to "
+                f"append rows, or use a fresh backend/database")
         try:
             self.connection.execute(create_table_sql(table))
+        except sqlite3.Error as exc:
+            raise BackendError(
+                f"creating table {table.name!r} failed: {exc}") from exc
+        self._tables.append(table.name)
+        self.row_counts.setdefault(table.name, 0)
+        self._metrics.incr("tables_loaded")
+
+    def _table_on_disk(self, name: str) -> bool:
+        try:
+            row = self.connection.execute(
+                "SELECT 1 FROM sqlite_master WHERE type = 'table' "
+                "AND name = ?", (name,)).fetchone()
+        except sqlite3.Error as exc:  # pragma: no cover - defensive
+            raise BackendError(
+                f"inspecting sqlite_master failed: {exc}") from exc
+        return row is not None
+
+    def _create_and_fill(self, table, rows: list[tuple]) -> int:
+        self._ensure_table(table)
+        try:
             if rows:
                 self.connection.executemany(
                     insert_sql(table),
@@ -181,8 +291,7 @@ class SQLiteBackend:
         except sqlite3.Error as exc:
             raise BackendError(
                 f"loading table {table.name!r} failed: {exc}") from exc
-        self._tables.append(table.name)
-        self._metrics.incr("tables_loaded")
+        self.row_counts[table.name] += len(rows)
         return len(rows)
 
     # ------------------------------------------------------------------

@@ -30,8 +30,9 @@ from pathlib import Path
 from .engine import Database
 from .errors import ReproError
 from .obs import NULL_TRACER, Tracer, render_tree, to_json
-from .mapping import (derive_schema, fully_split, hybrid_inlining,
-                      load_documents, shared_inlining, collect_statistics)
+from .mapping import (DEFAULT_BATCH_SIZE, derive_schema, fully_split,
+                      hybrid_inlining, load_documents, shared_inlining,
+                      collect_statistics)
 from .search import GreedySearch, NaiveGreedySearch, TwoStepSearch
 from .sqlast import render
 from .translate import translate_xpath
@@ -63,11 +64,12 @@ def _load_schema(args) -> SchemaTree:
     raise SystemExit("provide --schema <file.xsd> or --dtd <file.dtd>")
 
 
-def _schema_arguments(parser: argparse.ArgumentParser) -> None:
+def _schema_arguments(parser: argparse.ArgumentParser,
+                      required: bool = True) -> None:
     parser.add_argument("--schema", help="XSD schema file")
     parser.add_argument("--dtd", help="DTD file (requires --root)")
     parser.add_argument("--root", help="root element name for --dtd")
-    parser.add_argument("--xml", required=True, nargs="+",
+    parser.add_argument("--xml", required=required, nargs="+",
                         help="XML document file(s)")
 
 
@@ -108,8 +110,58 @@ def cmd_validate(args, out=None) -> int:
     return 1 if failures else 0
 
 
+def _shred_dataset(args, out) -> int:
+    """Stream-shred a bundled dataset at scale: per-table row counts
+    (and optional CSV dumps) with memory bounded by the batch size."""
+    from .datasets import (dblp_schema, generate_dblp, generate_movies,
+                           movie_schema)
+    from .mapping import shred_typed_batches
+    if args.dataset == "dblp":
+        tree = dblp_schema()
+        docs = generate_dblp(args.scale, seed=args.seed, stream=args.stream)
+    else:
+        tree = movie_schema()
+        docs = generate_movies(args.scale, seed=args.seed,
+                               stream=args.stream)
+    schema = derive_schema(MAPPINGS[args.mapping](tree))
+    print("relational schema:", file=out)
+    print(schema.describe(), file=out)
+    print(file=out)
+    counts = {name: 0 for name in schema.table_names}
+    handles: list = []
+    writers: dict[str, csv.writer] = {}
+    try:
+        if args.out:
+            out_dir = Path(args.out)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            for table in schema.to_engine_tables():
+                handle = open(out_dir / f"{table.name}.csv", "w",
+                              newline="", encoding="utf-8")
+                handles.append(handle)
+                writer = csv.writer(handle)
+                writer.writerow(table.column_names())
+                writers[table.name] = writer
+        for name, batch in shred_typed_batches(schema, docs,
+                                               args.batch_size):
+            counts[name] += len(batch)
+            if writers:
+                writers[name].writerows(batch)
+    finally:
+        for handle in handles:
+            handle.close()
+    for name in sorted(counts):
+        print(f"{name}: {counts[name]} rows", file=out)
+    if args.out:
+        print(f"\nwrote CSV files to {args.out}/", file=out)
+    return 0
+
+
 def cmd_shred(args, out=None) -> int:
     out = out or sys.stdout
+    if args.dataset:
+        return _shred_dataset(args, out)
+    if not args.xml:
+        raise SystemExit("provide --xml <file...> or --dataset")
     tree, docs, schema, db = _load_and_shred(args, out)
     print("relational schema:", file=out)
     print(schema.describe(), file=out)
@@ -424,7 +476,8 @@ def _serve_bundle(args, out):
         from .experiments import DatasetBundle
         make = (DatasetBundle.dblp if args.dataset == "dblp"
                 else DatasetBundle.movie)
-        bundle = make(scale=args.scale, seed=args.seed)
+        bundle = make(scale=args.scale, seed=args.seed,
+                      stream=getattr(args, "stream", False))
         tree, docs, stats = bundle.tree, bundle.docs, bundle.stats
         workload = bundle.workload_generator(seed=args.seed).generate(
             args.queries)
@@ -467,7 +520,8 @@ def _make_service(args, schema, configuration, docs):
     return QueryService(schema, docs, configuration=configuration,
                         workers=args.workers,
                         plan_cache_size=args.plan_cache,
-                        db_path=args.db)
+                        db_path=args.db,
+                        load_batch_size=getattr(args, "load_batch", None))
 
 
 def cmd_serve(args, out=None) -> int:
@@ -650,8 +704,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_validate.set_defaults(func=cmd_validate)
 
     p_shred = sub.add_parser("shred", help="shred XML into tables")
-    _schema_arguments(p_shred)
+    _schema_arguments(p_shred, required=False)
     _mapping_argument(p_shred)
+    dataset = p_shred.add_argument_group("bundled dataset")
+    dataset.add_argument("--dataset", choices=["dblp", "movie"],
+                         default=None,
+                         help="shred a bundled synthetic dataset instead "
+                              "of --schema/--xml files")
+    dataset.add_argument("--scale", type=int, default=2000,
+                         help="bundled dataset scale in records "
+                              "(default: 2000; supports 10^6+ with "
+                              "--stream)")
+    dataset.add_argument("--seed", type=int, default=7,
+                         help="dataset generator seed (default: 7)")
+    dataset.add_argument("--stream", action="store_true",
+                         help="generate and shred lazily: peak memory "
+                              "bounded by --batch-size, not --scale")
+    dataset.add_argument("--batch-size", type=int,
+                         default=DEFAULT_BATCH_SIZE,
+                         help="rows per streamed batch (default: "
+                              f"{DEFAULT_BATCH_SIZE})")
     p_shred.add_argument("--out", help="directory for CSV dumps")
     p_shred.set_defaults(func=cmd_shred)
 
@@ -798,6 +870,10 @@ def build_parser() -> argparse.ArgumentParser:
                                  "instead of --schema/--xml files")
         source.add_argument("--scale", type=int, default=300,
                             help="bundled dataset scale (default: 300)")
+        source.add_argument("--stream", action="store_true",
+                            help="generate the bundled dataset lazily and "
+                                 "stream the bulk load (use with large "
+                                 "--scale and --db)")
         source.add_argument("--queries", type=int, default=6,
                             help="generated workload size for --dataset "
                                  "(default: 6)")
@@ -825,6 +901,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="serve from this SQLite file (workers "
                               "reopen it read-only; default: shared "
                               "in-memory database)")
+        svc.add_argument("--load-batch", type=int, default=None,
+                         metavar="ROWS",
+                         help="rows per streamed bulk-load chunk "
+                              "(default: backend default)")
 
     p_serve = sub.add_parser(
         "serve",

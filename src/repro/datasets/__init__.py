@@ -1,13 +1,21 @@
-"""Synthetic data sets: DBLP (Fig. 1a) and Movie (Fig. 1b)."""
+"""Synthetic data sets: DBLP (Fig. 1a) and Movie (Fig. 1b).
 
-from .dblp import CONFERENCES, author_count, dblp_schema, generate_dblp
-from .movie import generate_movies, movie_schema
+Both generators take scale knobs (10^4-10^6+ records) and a
+``stream=True`` form that yields records lazily with bounded memory —
+see docs/scaling.md.
+"""
+
+from .dblp import (CONFERENCES, author_count, dblp_schema, generate_dblp,
+                   iter_dblp_publications)
+from .movie import generate_movies, iter_movie_elements, movie_schema
 
 __all__ = [
     "dblp_schema",
     "generate_dblp",
+    "iter_dblp_publications",
     "author_count",
     "CONFERENCES",
     "movie_schema",
     "generate_movies",
+    "iter_movie_elements",
 ]

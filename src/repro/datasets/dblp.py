@@ -19,8 +19,9 @@ produces data with the distributional properties the paper exploits:
 from __future__ import annotations
 
 import random
+from typing import Iterator
 
-from ..xmlkit import Document, Element
+from ..xmlkit import Document, Element, LazyElement
 from ..xsd import BaseType, SchemaTree, TreeBuilder
 
 # ~50 venues with a mildly skewed distribution: equality selections on
@@ -120,19 +121,22 @@ def _author_pool(rng: random.Random, size: int) -> list[str]:
             for i in range(size)]
 
 
-def generate_dblp(n_publications: int = 2000, seed: int = 7,
-                  book_fraction: float = 0.12) -> Document:
-    """Generate a synthetic DBLP document.
+def iter_dblp_publications(n_publications: int = 2000, seed: int = 7,
+                           book_fraction: float = 0.12) -> Iterator[Element]:
+    """Yield DBLP publication elements one at a time.
 
-    ``n_publications`` counts inproceedings + books together.
+    This is the streaming core shared by the eager and lazy document
+    forms: the RNG is created inside the generator, so every fresh
+    iterator over the same ``(n_publications, seed, book_fraction)``
+    produces an identical element sequence, and only one publication
+    subtree is alive at a time.
     """
     rng = random.Random(seed)
-    root = Element("dblp")
     n_books = int(n_publications * book_fraction)
     n_inproc = n_publications - n_books
     author_pool = _author_pool(rng, max(200, n_publications // 3))
     for i in range(n_inproc):
-        pub = root.make_child("inproceedings")
+        pub = Element("inproceedings")
         pub.make_child("title", _title(rng, i))
         pub.make_child("booktitle", _conference(rng))
         pub.make_child("year", str(rng.randint(1970, 2004)))
@@ -149,8 +153,9 @@ def generate_dblp(n_publications: int = 2000, seed: int = 7,
                 pub.make_child("cite", f"ref{rng.randrange(n_publications)}")
         if rng.random() < 0.10:
             pub.make_child("editor", f"Editor {rng.randrange(50)}")
+        yield pub
     for i in range(n_books):
-        book = root.make_child("book")
+        book = Element("book")
         book.make_child("title", _title(rng, n_inproc + i))
         book.make_child("year", str(rng.randint(1970, 2004)))
         book.make_child("publisher", rng.choice(PUBLISHERS))
@@ -159,4 +164,27 @@ def generate_dblp(n_publications: int = 2000, seed: int = 7,
         for _ in range(author_count(rng, max_authors=8)):
             book.make_child("author", rng.choice(author_pool))
         book.make_child("pages", str(rng.randint(80, 900)))
+        yield book
+
+
+def generate_dblp(n_publications: int = 2000, seed: int = 7,
+                  book_fraction: float = 0.12,
+                  stream: bool = False) -> Document:
+    """Generate a synthetic DBLP document.
+
+    ``n_publications`` counts inproceedings + books together.
+    ``stream=True`` returns a document whose root generates its
+    publications lazily (a re-iterable :class:`~repro.xmlkit.LazyElement`)
+    instead of materializing one giant element tree — the form the
+    streaming shred path consumes at 10^5-10^7 publications. Both forms
+    contain element-for-element identical content.
+    """
+    if stream:
+        return Document(LazyElement(
+            "dblp",
+            lambda: iter_dblp_publications(n_publications, seed,
+                                           book_fraction)))
+    root = Element("dblp")
+    for pub in iter_dblp_publications(n_publications, seed, book_fraction):
+        root.append(pub)
     return Document(root)

@@ -10,8 +10,9 @@ the paper's synthetic Movie data.
 from __future__ import annotations
 
 import random
+from typing import Iterator
 
-from ..xmlkit import Document, Element
+from ..xmlkit import Document, Element, LazyElement
 from ..xsd import BaseType, SchemaTree, TreeBuilder
 
 _ADJECTIVES = ["Lost", "Dark", "Silent", "Golden", "Broken", "Hidden",
@@ -36,13 +37,17 @@ def movie_schema() -> SchemaTree:
     return b.build(movies)
 
 
-def generate_movies(n_movies: int = 2000, seed: int = 11,
-                    tv_fraction: float = 0.35) -> Document:
-    """Generate a synthetic movie document with uniform distributions."""
+def iter_movie_elements(n_movies: int = 2000, seed: int = 11,
+                        tv_fraction: float = 0.35) -> Iterator[Element]:
+    """Yield movie elements one at a time (the streaming core).
+
+    The RNG lives inside the generator, so a fresh iterator over the
+    same parameters replays an identical element sequence — what makes
+    the lazy document form re-iterable.
+    """
     rng = random.Random(seed)
-    root = Element("movies")
     for i in range(n_movies):
-        movie = root.make_child("movie")
+        movie = Element("movie")
         title = (f"{rng.choice(_ADJECTIVES)} {rng.choice(_NOUNS)} {i}")
         movie.make_child("title", title)
         if rng.random() < 0.85:
@@ -58,4 +63,22 @@ def generate_movies(n_movies: int = 2000, seed: int = 11,
         else:
             movie.make_child("box_office", str(rng.randint(10_000,
                                                            500_000_000)))
+        yield movie
+
+
+def generate_movies(n_movies: int = 2000, seed: int = 11,
+                    tv_fraction: float = 0.35,
+                    stream: bool = False) -> Document:
+    """Generate a synthetic movie document with uniform distributions.
+
+    ``stream=True`` returns a lazily generated document (see
+    :func:`repro.datasets.generate_dblp`) with identical content.
+    """
+    if stream:
+        return Document(LazyElement(
+            "movies",
+            lambda: iter_movie_elements(n_movies, seed, tv_fraction)))
+    root = Element("movies")
+    for movie in iter_movie_elements(n_movies, seed, tv_fraction):
+        root.append(movie)
     return Document(root)

@@ -38,17 +38,19 @@ class DatasetBundle:
 
     @classmethod
     def dblp(cls, scale: int = 1500, seed: int = 7,
-             storage_bound: int = DEFAULT_STORAGE_BOUND) -> "DatasetBundle":
+             storage_bound: int = DEFAULT_STORAGE_BOUND,
+             stream: bool = False) -> "DatasetBundle":
         tree = dblp_schema()
-        docs = generate_dblp(scale, seed=seed)
+        docs = generate_dblp(scale, seed=seed, stream=stream)
         return cls("DBLP", tree, docs, collect_statistics(tree, docs),
                    storage_bound)
 
     @classmethod
     def movie(cls, scale: int = 1500, seed: int = 7,
-              storage_bound: int = DEFAULT_STORAGE_BOUND) -> "DatasetBundle":
+              storage_bound: int = DEFAULT_STORAGE_BOUND,
+              stream: bool = False) -> "DatasetBundle":
         tree = movie_schema()
-        docs = generate_movies(scale, seed=seed)
+        docs = generate_movies(scale, seed=seed, stream=stream)
         return cls("Movie", tree, docs, collect_statistics(tree, docs),
                    storage_bound)
 

@@ -7,7 +7,8 @@ from .presets import fully_inlined, fully_split, hybrid_inlining, shared_inlinin
 from .relschema import (BranchCondition, ColumnSpec, LeafStorage,
                         MappedSchema, PartitionSpec, PresenceCondition,
                         TableGroup)
-from .shredder import Shredder, load_documents, shred_typed_rows
+from .shredder import (DEFAULT_BATCH_SIZE, Shredder, load_documents,
+                       shred_typed_batches, shred_typed_rows)
 from .stats import (CollectedStats, StatsDeriver, collect_statistics,
                     derive_table_stats)
 from .transforms import (Associativity, Commutativity, Inline, Outline,
@@ -32,7 +33,9 @@ __all__ = [
     "shared_inlining",
     "fully_split",
     "Shredder",
+    "DEFAULT_BATCH_SIZE",
     "load_documents",
+    "shred_typed_batches",
     "shred_typed_rows",
     "collect_statistics",
     "CollectedStats",

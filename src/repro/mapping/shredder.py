@@ -6,17 +6,55 @@ become column values in their owner's row, repetition-split leaves fill
 the ``name_1 .. name_k`` columns with the overflow going to the leaf's
 own table, and union-distributed owners are routed to the partition
 whose condition matches the instance's optional/choice signature.
+
+Streaming
+---------
+
+The shredder is a *generator* at its core: :meth:`Shredder.shred_rows`
+walks the document and yields one ``(table_name, row)`` pair per
+produced row, in emission order, holding only the current root-to-leaf
+path of open row contexts. Everything else is a view over that stream:
+
+* :meth:`Shredder.shred` drains it into ``{table: [rows]}`` (the eager
+  form — unchanged behaviour);
+* :meth:`Shredder.shred_iter` groups it into per-table batches of at
+  most ``batch_size`` rows, so peak memory is bounded by the batch
+  size, not the document size;
+* :func:`shred_typed_batches` applies column-type coercion per batch —
+  the shared typed streaming step — and :func:`shred_typed_rows` drains
+  it eagerly.
+
+Because eager and streaming forms consume the *same* generator, their
+rows (values, IDs, and per-table order) are identical by construction.
+
+ID contract
+-----------
+
+Element IDs restart at 1 on every ``shred*`` call, so reusing one
+:class:`Shredder` produces exactly the rows a fresh instance would —
+the invariant :func:`shred_typed_rows` and the execution backends rely
+on. An *incremental* shred (several calls loading into one database)
+passes ``continue_ids=True`` to keep numbering where the previous call
+stopped; a multi-document list inside one call always numbers
+continuously across the documents.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from ..errors import ShreddingError
 from ..xmlkit import Document, Element
 from ..xsd import NodeKind, SchemaNode, SchemaTree
 from .relschema import (BranchCondition, MappedSchema, PartitionSpec,
                         PresenceCondition, TableGroup)
+
+#: Rows buffered per table before a streaming batch is emitted.
+DEFAULT_BATCH_SIZE = 5000
+
+#: One emitted (table, row) pair.
+RowEvent = tuple[str, tuple]
 
 
 @dataclass
@@ -45,6 +83,7 @@ class _RowContext:
     present_optionals: set[int] = field(default_factory=set)
     choices: dict[int, int] = field(default_factory=dict)
     split_counts: dict[int, int] = field(default_factory=dict)
+    filled_leaves: set[int] = field(default_factory=set)
 
 
 class Shredder:
@@ -57,12 +96,32 @@ class Shredder:
         self._next_id = 1
 
     # ------------------------------------------------------------------
-    def shred(self, docs) -> dict[str, list[tuple]]:
+    def shred(self, docs, *,
+              continue_ids: bool = False) -> dict[str, list[tuple]]:
         """Shred one document or a list; returns rows per table name."""
-        if isinstance(docs, (Document, Element)):
-            docs = [docs]
         rows: dict[str, list[tuple]] = {name: []
                                         for name in self.schema.table_names}
+        for table_name, row in self.shred_rows(docs,
+                                               continue_ids=continue_ids):
+            rows[table_name].append(row)
+        return rows
+
+    def shred_rows(self, docs, *,
+                   continue_ids: bool = False) -> Iterator[RowEvent]:
+        """Yield ``(table_name, row)`` pairs in emission order.
+
+        The streaming core: child rows are emitted while their owner's
+        region is being filled, and the owner's own row once its region
+        is complete, so memory is bounded by the open root-to-leaf path
+        (plus the current child subtree), never the document.
+
+        IDs restart at 1 unless ``continue_ids=True`` (see the module
+        docstring for the contract).
+        """
+        if not continue_ids:
+            self.reset_ids()
+        if isinstance(docs, (Document, Element)):
+            docs = [docs]
         for doc in docs:
             root = doc.root if isinstance(doc, Document) else doc
             schema_root = self.tree.root
@@ -70,12 +129,38 @@ class Shredder:
                 raise ShreddingError(
                     f"document root <{root.tag}> does not match schema "
                     f"root <{schema_root.name}>")
-            self._shred_annotated(root, schema_root, parent_id=None,
-                                  rows=rows)
-        return rows
+            yield from self._shred_annotated(root, schema_root,
+                                             parent_id=None)
 
-    def reset_ids(self) -> None:
-        self._next_id = 1
+    def shred_iter(self, docs, batch_size: int = DEFAULT_BATCH_SIZE, *,
+                   continue_ids: bool = False
+                   ) -> Iterator[tuple[str, list[tuple]]]:
+        """Yield ``(table_name, rows)`` batches with bounded memory.
+
+        A batch is emitted as soon as one table accumulates
+        ``batch_size`` rows; the remainders are flushed in mapped-schema
+        table order at the end. Concatenating the batches per table
+        reproduces :meth:`shred` exactly (same rows, same order).
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1 (got {batch_size})")
+        buffers: dict[str, list[tuple]] = {}
+        for table_name, row in self.shred_rows(docs,
+                                               continue_ids=continue_ids):
+            buffer = buffers.setdefault(table_name, [])
+            buffer.append(row)
+            if len(buffer) >= batch_size:
+                del buffers[table_name]
+                yield table_name, buffer
+        for table_name in self.schema.table_names:
+            buffer = buffers.get(table_name)
+            if buffer:
+                yield table_name, buffer
+
+    def reset_ids(self, start: int = 1) -> None:
+        """Restart ID numbering (``start`` seeds an append-load that must
+        continue above the IDs already stored — see SQLiteBackend.load)."""
+        self._next_id = start
 
     # ------------------------------------------------------------------
     def _new_id(self) -> int:
@@ -84,8 +169,7 @@ class Shredder:
         return element_id
 
     def _shred_annotated(self, element: Element, node: SchemaNode,
-                         parent_id: int | None,
-                         rows: dict[str, list[tuple]]) -> None:
+                         parent_id: int | None) -> Iterator[RowEvent]:
         group = self._group_of(node)
         ctx = _RowContext(element_id=self._new_id())
         ctx.values["ID"] = ctx.element_id
@@ -96,10 +180,10 @@ class Shredder:
             assert storage.value_column is not None
             ctx.values[storage.value_column] = element.text
         else:
-            self._fill_region(element, node, ctx, rows)
+            yield from self._fill_region(element, node, ctx)
         partition = self._route(group, ctx, node)
         row = tuple(ctx.values.get(name) for name in partition.column_names)
-        rows[partition.table_name].append(row)
+        yield partition.table_name, row
 
     def _group_of(self, node: SchemaNode) -> TableGroup:
         annotation = self.schema.mapping.annotation_of(node.node_id)
@@ -110,9 +194,11 @@ class Shredder:
 
     # ------------------------------------------------------------------
     def _fill_region(self, element: Element, node: SchemaNode,
-                     ctx: _RowContext, rows: dict[str, list[tuple]]) -> None:
+                     ctx: _RowContext) -> Iterator[RowEvent]:
         dispatch = self._dispatch_for(node)
-        for child in element.children:
+        # Iterating the element itself (not .children) keeps a lazy
+        # root's child list unmaterialized on the streaming path.
+        for child in element:
             entry = dispatch.get(child.tag)
             if entry is None:
                 raise ShreddingError(
@@ -123,8 +209,17 @@ class Shredder:
                 choice_id, branch = entry.choice_branch
                 ctx.choices[choice_id] = branch
             if entry.kind == "annotated":
-                self._shred_annotated(child, entry.node, ctx.element_id, rows)
+                yield from self._shred_annotated(child, entry.node,
+                                                 ctx.element_id)
             elif entry.kind == "leaf":
+                if entry.node.node_id in ctx.filled_leaves:
+                    raise ShreddingError(
+                        f"leaf <{child.tag}> occurs more than once in one "
+                        f"<{element.tag}> instance but is mapped to the "
+                        f"single column {entry.column!r}; a repeated leaf "
+                        f"needs a repetition (split or outlined) in the "
+                        f"mapping")
+                ctx.filled_leaves.add(entry.node.node_id)
                 ctx.values[entry.column] = child.text
                 for attr_name, column in entry.attr_columns:
                     if attr_name in child.attributes:
@@ -140,11 +235,11 @@ class Shredder:
                     partition = overflow_group.partitions[0]
                     values = {"ID": self._new_id(), "PID": ctx.element_id,
                               entry.overflow_value_column: child.text}
-                    rows[partition.table_name].append(tuple(
-                        values.get(name) for name in partition.column_names))
+                    yield partition.table_name, tuple(
+                        values.get(name) for name in partition.column_names)
             elif entry.kind == "inline-complex":
                 self._apply_attributes(child, entry.node, ctx)
-                self._fill_region(child, entry.node, ctx, rows)
+                yield from self._fill_region(child, entry.node, ctx)
         # Values are stored as text; column typing happens at load time.
 
     def _apply_attributes(self, element: Element, node: SchemaNode,
@@ -264,37 +359,67 @@ class Shredder:
         raise ShreddingError(f"unknown condition {condition!r}")
 
 
+def shred_typed_batches(schema: MappedSchema, docs,
+                        batch_size: int = DEFAULT_BATCH_SIZE, *,
+                        continue_ids: bool = False,
+                        shredder: Shredder | None = None
+                        ) -> Iterator[tuple[str, list[tuple]]]:
+    """Stream *typed* row batches per table with bounded memory.
+
+    The streaming twin of :func:`shred_typed_rows`: each batch of
+    shredded text rows has its column SQL-type coercions applied before
+    it is yielded, so any execution backend can load arbitrarily large
+    documents while holding at most ``batch_size`` rows per table.
+    Both functions share this code path, which is what keeps eager and
+    streaming loads byte-identical at the data layer.
+    """
+    engine_tables = {t.name: t for t in schema.to_engine_tables()}
+    coercers = {name: [c.sql_type.coerce for c in table.columns]
+                for name, table in engine_tables.items()}
+    if shredder is None:
+        shredder = Shredder(schema)
+    for table_name, rows in shredder.shred_iter(docs, batch_size,
+                                                continue_ids=continue_ids):
+        coerce_row = coercers[table_name]
+        yield table_name, [
+            tuple(coerce(v) for coerce, v in zip(coerce_row, row))
+            for row in rows]
+
+
 def shred_typed_rows(schema: MappedSchema, docs) -> dict[str, list[tuple]]:
     """Shred documents into *typed* rows per table name.
 
     Shredded values are text; this applies each column's SQL-type
     coercion, producing the exact rows any execution backend (the
-    in-memory engine, SQLite, ...) should load. Sharing this step is
-    what makes cross-backend runs byte-identical at the data layer.
+    in-memory engine, SQLite, ...) should load. It drains
+    :func:`shred_typed_batches`, so the eager and streaming load paths
+    see byte-identical rows by construction.
     """
-    engine_tables = {t.name: t for t in schema.to_engine_tables()}
-    rows_by_table = Shredder(schema).shred(docs)
-    typed_by_table: dict[str, list[tuple]] = {}
-    for table_name, rows in rows_by_table.items():
-        coercers = [c.sql_type.coerce
-                    for c in engine_tables[table_name].columns]
-        typed_by_table[table_name] = [
-            tuple(coerce(v) for coerce, v in zip(coercers, row))
-            for row in rows]
+    typed_by_table: dict[str, list[tuple]] = {
+        name: [] for name in schema.table_names}
+    for table_name, batch in shred_typed_batches(schema, docs):
+        typed_by_table[table_name].extend(batch)
     return typed_by_table
 
 
 def load_documents(db, schema: MappedSchema, docs,
-                   analyze: bool = True) -> None:
+                   analyze: bool = True,
+                   batch_size: int = DEFAULT_BATCH_SIZE) -> None:
     """Shred documents and load (typed) rows into an engine database.
 
-    Tables are created from the mapped schema if absent.
+    Tables are created from the mapped schema if absent. Rows stream
+    through :func:`shred_typed_batches`, so only the loaded database —
+    never a second full copy of the shredded rows — is held in memory.
     """
     existing = set(db.catalog.tables)
     for table in schema.to_engine_tables():
         if table.name not in existing:
             db.register_table(table)
-    for table_name, typed in shred_typed_rows(schema, docs).items():
+        # Materialize every mapped table (streaming only emits non-empty
+        # batches; a zero-row table must still become executable, not
+        # stats-only).
+        db.insert_rows(table.name, [])
+    for table_name, typed in shred_typed_batches(schema, docs, batch_size):
         db.insert_rows(table_name, typed)
     if analyze:
         db.analyze()

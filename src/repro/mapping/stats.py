@@ -143,7 +143,9 @@ class _Collector:
         collectors = collectors_above + [signature]
         rep_counts: Counter = Counter()
         dispatch = self._dispatch(node)
-        for child in element.children:
+        # Iterate the element itself (not .children) so a lazy root's
+        # child list is streamed, never materialized.
+        for child in element:
             entry = dispatch.get(child.tag)
             if entry is None:
                 raise MappingError(

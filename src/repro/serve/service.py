@@ -86,13 +86,17 @@ class QueryService:
     a path serves from that file, and workers reopen it **read-only**
     (they physically cannot write). ``workers`` bounds concurrent
     executions; each pool worker gets its own SQLite connection on
-    first use.
+    first use. ``load_batch_size`` overrides the startup bulk load's
+    streaming chunk size — with a lazy document (``stream=True``
+    datasets) the service can load far more data than fits in memory
+    as a materialized tree (docs/scaling.md).
     """
 
     def __init__(self, schema: MappedSchema, docs,
                  configuration: Configuration | None = None,
                  workers: int = 4, plan_cache_size: int = 128,
                  db_path: str | None = None,
+                 load_batch_size: int | None = None,
                  tracer: Tracer | NullTracer | None = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -118,7 +122,9 @@ class QueryService:
         with self.tracer.span("serve.startup", workers=workers):
             loader = SQLiteBackend(db_path or ":memory:",
                                    tracer=self.tracer)
-            loader.load(schema, docs)
+            load_kwargs = ({"batch_size": load_batch_size}
+                           if load_batch_size else {})
+            loader.load(schema, docs, **load_kwargs)
             loader.apply_configuration(self.configuration)
             if db_path is None:
                 self.backend: SQLiteBackend = loader

@@ -1,12 +1,13 @@
 """XML document model, parser, and serializer (built from scratch)."""
 
-from .doc import Document, Element, count_elements, element
+from .doc import Document, Element, LazyElement, count_elements, element
 from .parser import parse, parse_file
 from .writer import escape_attribute, escape_text, serialize
 
 __all__ = [
     "Document",
     "Element",
+    "LazyElement",
     "element",
     "count_elements",
     "parse",

@@ -151,6 +151,80 @@ class Document:
         return f"<Document root={self.root.tag!r}>"
 
 
+class LazyElement(Element):
+    """An element whose children are *generated*, not stored.
+
+    The substrate of the streaming data plane (docs/scaling.md): a
+    synthetic data set at 10^6 publications cannot be materialized as
+    one giant child list, so the root element holds a zero-argument
+    ``factory`` returning a fresh iterator of child elements instead.
+    Every iteration (``for child in el``) calls the factory again, so a
+    deterministic factory (seeded RNG created inside it) makes the
+    element re-iterable with identical content while only one child
+    subtree is alive at a time.
+
+    Supported: streaming iteration, lazy pre-order ``iter()``,
+    ``descendants``, ``find``/``find_all`` (O(n) scans), ``len`` and
+    ``string_value`` (O(n) streaming). Not supported: ``append`` /
+    ``make_child`` / ``add_text`` — a lazy element's content comes from
+    its factory only.
+    """
+
+    __slots__ = ("_factory",)
+
+    def __init__(self, tag: str, factory,
+                 attributes: dict[str, str] | None = None):
+        super().__init__(tag, attributes)
+        self._factory = factory
+
+    # -- construction is disabled: content comes from the factory ------
+    def append(self, child: "Element") -> "Element":
+        raise TypeError("LazyElement content comes from its factory; "
+                        "append() is not supported")
+
+    def add_text(self, text: str) -> None:
+        raise TypeError("LazyElement content comes from its factory; "
+                        "add_text() is not supported")
+
+    # -- streaming navigation ------------------------------------------
+    def __iter__(self) -> Iterator["Element"]:
+        for child in self._factory():
+            child.parent = self
+            yield child
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    @property
+    def children(self) -> tuple["Element", ...]:
+        """Materializes every child — defeats streaming; prefer iteration."""
+        return tuple(self)
+
+    def iter(self) -> Iterator["Element"]:
+        yield self
+        for child in self:
+            yield from child.iter()
+
+    def find_all(self, tag: str) -> list["Element"]:
+        return [c for c in self if c.tag == tag]
+
+    def find(self, tag: str) -> "Element | None":
+        for child in self:
+            if child.tag == tag:
+                return child
+        return None
+
+    @property
+    def text(self) -> str:
+        return ""
+
+    def string_value(self) -> str:
+        return "".join(child.string_value() for child in self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<LazyElement {self.tag!r}>"
+
+
 def element(tag: str, *children: "Element | str",
             attributes: dict[str, str] | None = None) -> Element:
     """Functional helper to build element trees in tests and examples.

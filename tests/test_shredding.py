@@ -104,6 +104,37 @@ class TestShredder:
         with pytest.raises(ShreddingError):
             Shredder(schema).shred(parse("<movies/>"))
 
+    def test_repeated_unsplit_leaf_rejected(self):
+        # Regression: an un-split leaf repeating inside one instance used
+        # to silently overwrite the column (last-wins data loss).
+        schema = derive_schema(hybrid_inlining(dblp_schema()))
+        doc = parse(
+            "<dblp><inproceedings><title>T1</title><title>T2</title>"
+            "<booktitle>V</booktitle><year>2000</year><author>A</author>"
+            "<pages>1-2</pages></inproceedings></dblp>")
+        with pytest.raises(ShreddingError, match="more than once"):
+            Shredder(schema).shred(doc)
+
+    def test_reused_shredder_matches_fresh_instance(self, dblp_doc):
+        # Regression: _next_id used to persist across shred() calls, so
+        # a reused Shredder diverged from shred_typed_rows' fresh one.
+        schema = derive_schema(hybrid_inlining(dblp_schema()))
+        shredder = Shredder(schema)
+        first = shredder.shred(dblp_doc)
+        second = shredder.shred(dblp_doc)
+        assert first == second
+        assert second == Shredder(schema).shred(dblp_doc)
+
+    def test_continue_ids_numbers_above_previous_call(self, dblp_doc):
+        schema = derive_schema(hybrid_inlining(dblp_schema()))
+        shredder = Shredder(schema)
+        first = shredder.shred(dblp_doc)
+        continued = shredder.shred(dblp_doc, continue_ids=True)
+        max_first = max(row[0] for rows in first.values() for row in rows)
+        min_continued = min(row[0] for rows in continued.values()
+                            for row in rows)
+        assert min_continued == max_first + 1
+
     def test_load_documents_types_values(self, dblp_doc):
         db = Database()
         schema = derive_schema(hybrid_inlining(dblp_schema()))
