@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""SIGKILL load smoke test: kill a bulk load -9 mid-flight, reopen the
+database, and require resume to reproduce the uninterrupted load.
+
+tests/test_backends.py::TestCrashSafeLoad proves the same property with
+an injected fatal fault (deterministic, in-process). This script is the
+CI complement with a *real* ``SIGKILL``: the child slows every
+bulk-load batch with ``hang`` faults so the parent can watch committed
+watermarks appear in the load manifest, then kill the process between
+transactions. The parent reopens the file, checks the manifest reports
+an incomplete fresh load, resumes it, and compares every table against
+a clean load byte for byte.
+
+Usage: python scripts/load_kill_smoke.py [--scale N]
+Exit 0 on success, 1 on mismatch/failure.
+"""
+
+import argparse
+import os
+import signal
+import sqlite3
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.backends import MANIFEST_TABLE, SQLiteBackend  # noqa: E402
+from repro.experiments import DatasetBundle  # noqa: E402
+from repro.mapping import derive_schema, hybrid_inlining  # noqa: E402
+from repro.resilience import install_fault_plan  # noqa: E402
+
+# Every batch sleeps in the child, giving the parent a comfortable
+# window between "first watermark committed" and "load done" in which
+# to deliver the SIGKILL.
+HANG_SPEC = "backend.load.batch:1:hang:0.05"
+BATCH_ROWS = 200
+
+
+def _problem(scale):
+    bundle = DatasetBundle.dblp(scale=scale, seed=11)
+    schema = derive_schema(hybrid_inlining(bundle.tree))
+    return schema, bundle.docs
+
+
+def _table_digests(path, schema):
+    with SQLiteBackend(str(path), read_only=True) as backend:
+        return {name: sorted(backend.execute_sql(
+                    f'SELECT * FROM "{name}"'))
+                for name in schema.table_names}
+
+
+def _committed_rows(path) -> int:
+    """Sum of committed watermarks, read through an independent
+    read-only connection (0 until the manifest header lands)."""
+    try:
+        connection = sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+    except sqlite3.Error:
+        return 0
+    try:
+        rows = connection.execute(
+            f'SELECT "value" FROM "{MANIFEST_TABLE}" '
+            f'WHERE "key" LIKE \'rows:%\'').fetchall()
+        return sum(int(value) for (value,) in rows)
+    except sqlite3.Error:
+        return 0
+    finally:
+        connection.close()
+
+
+def _child(scale, db_path):
+    install_fault_plan(HANG_SPEC)
+    schema, docs = _problem(scale)
+    with SQLiteBackend(db_path) as backend:
+        backend.load(schema, docs, batch_size=BATCH_ROWS,
+                     txn_rows=BATCH_ROWS)
+    return 0
+
+
+def _parent(scale, workdir):
+    schema, docs = _problem(scale)
+    clean_db = Path(workdir) / "clean.db"
+    crash_db = Path(workdir) / "crash.db"
+
+    print("load-kill-smoke: running uninterrupted baseline load ...",
+          flush=True)
+    with SQLiteBackend(str(clean_db)) as backend:
+        backend.load(schema, docs)
+        clean_counts = dict(backend.row_counts)
+    total_rows = sum(clean_counts.values())
+
+    env = dict(os.environ,
+               PYTHONPATH=os.pathsep.join(
+                   filter(None, [str(REPO / "src"),
+                                 os.environ.get("PYTHONPATH")])))
+    child = subprocess.Popen(
+        [sys.executable, __file__, "--child", "--scale", str(scale),
+         "--db", str(crash_db)], env=env)
+    try:
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if child.poll() is not None:
+                # Finished before we struck — the complete manifest
+                # makes the reopen checks below trivially pass, so
+                # treat it as a setup problem instead.
+                print("load-kill-smoke: FAIL — child finished before "
+                      "the kill; raise --scale")
+                return 1
+            committed = _committed_rows(crash_db)
+            if 0 < committed < total_rows:
+                print(f"load-kill-smoke: {committed}/{total_rows} rows "
+                      f"committed, sending SIGKILL", flush=True)
+                child.send_signal(signal.SIGKILL)
+                child.wait(timeout=30)
+                break
+            time.sleep(0.05)
+        else:
+            print("load-kill-smoke: FAIL — no committed batch within 120s")
+            return 1
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait(timeout=30)
+
+    print("load-kill-smoke: reopening the killed database ...", flush=True)
+    with SQLiteBackend(str(crash_db)) as backend:
+        manifest = backend.load_manifest()
+        if manifest is None:
+            print("load-kill-smoke: FAIL — no manifest after the kill")
+            return 1
+        if manifest.complete:
+            print("load-kill-smoke: FAIL — manifest claims completion")
+            return 1
+        if manifest.mode != "fresh":
+            print("load-kill-smoke: FAIL — unexpected manifest mode "
+                  f"{manifest.mode!r}")
+            return 1
+        committed = sum(manifest.watermarks.values())
+        print(f"load-kill-smoke: incomplete fresh load detected "
+              f"({committed}/{total_rows} rows), resuming ...", flush=True)
+        backend.load(schema, docs, batch_size=BATCH_ROWS,
+                     txn_rows=BATCH_ROWS, resume=True)
+        if backend.row_counts != clean_counts:
+            print("load-kill-smoke: FAIL — resumed row counts differ")
+            print(f"  baseline: {clean_counts}")
+            print(f"  resumed:  {backend.row_counts}")
+            return 1
+
+    if _table_digests(crash_db, schema) != _table_digests(clean_db, schema):
+        print("load-kill-smoke: FAIL — resumed tables differ from the "
+              "clean load")
+        return 1
+    print(f"load-kill-smoke: PASS — resumed load identical "
+          f"({total_rows} rows across {len(clean_counts)} tables)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=400)
+    parser.add_argument("--child", action="store_true",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--db", default=None)
+    args = parser.parse_args()
+    if args.child:
+        return _child(args.scale, args.db)
+    import tempfile
+    with tempfile.TemporaryDirectory(prefix="load-kill-smoke-") as tmp:
+        return _parent(args.scale, tmp)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,8 @@ from .dialect import (DialectError, create_index_sql, create_table_sql,
                       render_query, sqlite_type)
 from .diff import (DiffReport, Divergence, compare_backends, multiset_diff,
                    normalize_row, validate_design)
-from .sqlite import BackendError, SQLiteBackend
+from .sqlite import (MANIFEST_TABLE, BackendBusyError, BackendError,
+                     LoadManifest, SQLiteBackend)
 
 __all__ = [
     "SQLBackend",
@@ -22,6 +23,9 @@ __all__ = [
     "QueryTiming",
     "timed_runs",
     "BackendError",
+    "BackendBusyError",
+    "LoadManifest",
+    "MANIFEST_TABLE",
     "DialectError",
     "render_query",
     "quote_identifier",

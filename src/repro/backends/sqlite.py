@@ -13,6 +13,25 @@ result divergence is a semantics bug rather than a loading artifact,
 and peak load memory is bounded by the batch size, not the document
 (docs/scaling.md).
 
+Crash safety
+------------
+
+``load`` maintains a **load manifest** — a ``_repro_load_manifest``
+key/value table inside the target database holding the mapped schema's
+digest, the load mode, a per-table committed-row watermark, and a
+``complete`` marker. The manifest header commits *before* the first
+mapped table is created, and watermark updates join every data
+transaction, so after a crash (even ``SIGKILL``) the database always
+holds a consistent prefix of the load *and* a manifest describing it
+exactly. A fresh backend reopening the file detects the interrupted
+load via :meth:`load_manifest` and ``load()`` either **resumes** from
+the last committed batch (``resume=True`` — shredding is deterministic,
+so re-streaming and skipping the watermarked prefix reproduces the
+missing rows with identical IDs) or **rolls back** cleanly (default:
+drop the partial tables and reload from scratch) instead of dying on a
+raw "table already exists". ``scripts/load_kill_smoke.py`` proves this
+against a real ``SIGKILL`` in CI.
+
 Concurrency model
 -----------------
 
@@ -48,12 +67,15 @@ import itertools
 import os
 import sqlite3
 import threading
+from dataclasses import dataclass, field
 
 from ..engine import Database
 from ..errors import ReproError
 from ..mapping import MappedSchema, Shredder, shred_typed_batches
 from ..obs import NullTracer, Tracer, get_tracer
 from ..physdesign import Configuration
+from ..resilience import active_fault_plan
+from ..search import mapping_digest
 from ..sqlast import Query
 from .base import QueryTiming, timed_runs
 from .dialect import (create_index_sql, create_table_sql,
@@ -62,6 +84,32 @@ from .dialect import (create_index_sql, create_table_sql,
 
 class BackendError(ReproError):
     """A backend operation failed (DDL, load, or execution)."""
+
+
+class BackendBusyError(BackendError):
+    """The database was transiently locked (``SQLITE_BUSY``/``LOCKED``).
+
+    ``retryable`` marks it for the resilience classifier: the serving
+    layer's :class:`~repro.resilience.RetryPolicy` re-attempts these —
+    under WAL a busy reader/writer collision is momentary — instead of
+    failing the request.
+    """
+
+    retryable = True
+
+
+#: Key/value table ``load()`` maintains inside the target database.
+MANIFEST_TABLE = "_repro_load_manifest"
+
+
+@dataclass(frozen=True)
+class LoadManifest:
+    """What a (possibly interrupted) bulk load left in the database."""
+
+    schema_digest: str
+    mode: str                 # "fresh" or "append"
+    complete: bool
+    watermarks: dict[str, int] = field(default_factory=dict)
 
 
 def _storable(value):
@@ -133,6 +181,7 @@ class SQLiteBackend:
     # Connections
     # ------------------------------------------------------------------
     def _open(self, uri: str) -> sqlite3.Connection:
+        active_fault_plan().maybe_raise("backend.connect")
         try:
             # check_same_thread=False so close() can close every
             # connection from one thread; each connection is otherwise
@@ -168,7 +217,8 @@ class SQLiteBackend:
     def load(self, schema: MappedSchema, docs, *,
              batch_size: int = DEFAULT_LOAD_BATCH,
              txn_rows: int = DEFAULT_TXN_ROWS,
-             append: bool = False) -> None:
+             append: bool = False,
+             resume: bool = False) -> None:
         """Shred the documents and bulk-load every mapped table.
 
         Rows stream through :func:`repro.mapping.shred_typed_batches`
@@ -179,13 +229,84 @@ class SQLiteBackend:
         ``append=True``, which keeps the existing tables and appends
         (the caller owns ID continuity — see the shredder's
         ``continue_ids`` contract).
+
+        Crash safety: the load maintains a manifest (see the module
+        docstring). If the database holds an **interrupted** fresh load
+        — the manifest exists but lacks its ``complete`` marker — the
+        default is a clean rollback (drop the partial tables, reload
+        everything); ``resume=True`` instead skips each table's
+        committed watermark and loads only the missing suffix, which
+        reproduces the exact rows a crash-free load would have stored
+        because shredding is deterministic. After a resumed load,
+        ``row_counts`` reports the table totals (committed prefix plus
+        the resumed suffix). An interrupted *append* load is refused
+        outright — appended rows cannot be told apart from base data.
         """
+        if append and resume:
+            raise BackendError("append=True and resume=True are "
+                               "mutually exclusive")
         with self.tracer.span("backend.load", backend=self.name) as span:
-            inserts = {}
+            faults = active_fault_plan()
+            digest = mapping_digest(schema.mapping)
             engine_tables = schema.to_engine_tables()
-            for table in engine_tables:
-                self._ensure_table(table, append=append)
-                inserts[table.name] = insert_sql(table)
+            manifest = self.load_manifest()
+            resuming = False
+            skip: dict[str, int] = {}
+            if manifest is not None and not manifest.complete:
+                if manifest.mode != "fresh":
+                    raise BackendError(
+                        "a previous append-load was interrupted; appended "
+                        "rows cannot be distinguished from the base data "
+                        "— restore the database file or reload from "
+                        "scratch")
+                if resume:
+                    if manifest.schema_digest != digest:
+                        raise BackendError(
+                            "cannot resume the interrupted load: it used "
+                            "a different mapped schema")
+                    skip = dict(manifest.watermarks)
+                    resuming = True
+                    self._metrics.incr("load_resumes")
+                else:
+                    self._rollback_incomplete(manifest)
+            inserts: dict[str, str] = {}
+            stored: dict[str, int] = {}
+            if resuming:
+                for table in engine_tables:
+                    if self._table_on_disk(table.name):
+                        if table.name not in self._tables:
+                            self._tables.append(table.name)
+                    else:
+                        # The crash may have landed between the manifest
+                        # header and this table's CREATE.
+                        self._create_table(table)
+                    stored[table.name] = skip.get(table.name, 0)
+                    self.row_counts[table.name] = stored[table.name]
+                    inserts[table.name] = insert_sql(table)
+            else:
+                # Conflict check first — nothing is written unless the
+                # whole load is admissible.
+                for table in engine_tables:
+                    self._register_on_disk(table.name)
+                    if table.name in self._tables and not append:
+                        raise BackendError(
+                            f"table {table.name!r} already exists on this "
+                            f"backend; load() is one-shot per database — "
+                            f"pass append=True to append rows, or use a "
+                            f"fresh backend/database")
+                for table in engine_tables:
+                    stored[table.name] = (self._stored_rows(table.name)
+                                          if append else 0)
+                # Header before any CREATE: a crash at any later point
+                # leaves a manifest naming every table to roll back.
+                self._write_manifest_header(
+                    digest, engine_tables,
+                    mode="append" if append else "fresh", stored=stored)
+                for table in engine_tables:
+                    if table.name not in self._tables:
+                        self._create_table(table)
+                    self.row_counts.setdefault(table.name, 0)
+                    inserts[table.name] = insert_sql(table)
             shredder = Shredder(schema)
             if append:
                 # Continue element-ID numbering above everything already
@@ -193,25 +314,41 @@ class SQLiteBackend:
                 # valid PID references) even across backend instances.
                 shredder.reset_ids(self._max_stored_id(engine_tables) + 1)
             loaded = pending = 0
+            remaining = dict(skip)
             try:
                 for name, rows in shred_typed_batches(schema, docs,
                                                       batch_size,
                                                       continue_ids=append,
                                                       shredder=shredder):
+                    faults.maybe_raise("backend.load.batch")
+                    if remaining.get(name):
+                        drop = min(remaining[name], len(rows))
+                        remaining[name] -= drop
+                        rows = rows[drop:]
+                        self._metrics.incr("rows_skipped_on_resume", drop)
+                        if not rows:
+                            continue
                     self.connection.executemany(
                         inserts[name],
                         [tuple(_storable(v) for v in row) for row in rows])
+                    stored[name] += len(rows)
                     self.row_counts[name] = (self.row_counts.get(name, 0)
                                              + len(rows))
                     loaded += len(rows)
                     pending += len(rows)
                     if pending >= txn_rows:
+                        # Watermarks ride in the same transaction as the
+                        # rows they count — atomically consistent at
+                        # every commit point.
+                        self._update_watermarks(stored)
                         self.connection.commit()
                         self._metrics.incr("load_commits")
                         pending = 0
+                self._update_watermarks(stored)
+                self._mark_complete()
+                self.connection.commit()
             except sqlite3.Error as exc:
                 raise BackendError(f"bulk load failed: {exc}") from exc
-            self.connection.commit()
             span.set("rows", loaded)
             self._metrics.incr("rows_loaded", loaded)
 
@@ -243,6 +380,110 @@ class SQLiteBackend:
                 best = max(best, int(row[0]))
         return best
 
+    # ------------------------------------------------------------------
+    # Load manifest (crash safety — see the module docstring)
+    # ------------------------------------------------------------------
+    def load_manifest(self) -> LoadManifest | None:
+        """The manifest of the last bulk load, or ``None`` if no
+        ``load()`` ever ran against this database."""
+        if not self._table_on_disk(MANIFEST_TABLE):
+            return None
+        try:
+            rows = self.connection.execute(
+                f'SELECT "key", "value" FROM "{MANIFEST_TABLE}"').fetchall()
+        except sqlite3.Error as exc:
+            raise BackendError(
+                f"reading the load manifest failed: {exc}") from exc
+        entries = {key: value for key, value in rows}
+        watermarks = {key[len("rows:"):]: int(value)
+                      for key, value in entries.items()
+                      if key.startswith("rows:")}
+        return LoadManifest(
+            schema_digest=str(entries.get("schema", "")),
+            mode=str(entries.get("mode", "fresh")),
+            complete=str(entries.get("complete", "0")) == "1",
+            watermarks=watermarks)
+
+    def _write_manifest_header(self, digest: str, tables,
+                               mode: str, stored: dict[str, int]) -> None:
+        """Commit the manifest naming every table, *before* any CREATE."""
+        try:
+            self.connection.execute(
+                f'CREATE TABLE IF NOT EXISTS "{MANIFEST_TABLE}" '
+                f'("key" TEXT PRIMARY KEY, "value" TEXT NOT NULL)')
+            self.connection.execute(f'DELETE FROM "{MANIFEST_TABLE}"')
+            entries = [("schema", digest), ("mode", mode), ("complete", "0")]
+            entries += [(f"rows:{table.name}", str(stored[table.name]))
+                        for table in tables]
+            self.connection.executemany(
+                f'INSERT INTO "{MANIFEST_TABLE}" ("key", "value") '
+                f'VALUES (?, ?)', entries)
+            self.connection.commit()
+        except sqlite3.Error as exc:
+            raise BackendError(
+                f"writing the load manifest failed: {exc}") from exc
+
+    def _update_watermarks(self, stored: dict[str, int]) -> None:
+        """Stage watermark updates; the caller's commit makes them live
+        atomically with the rows they count."""
+        self.connection.executemany(
+            f'UPDATE "{MANIFEST_TABLE}" SET "value" = ? WHERE "key" = ?',
+            [(str(stored[name]), f"rows:{name}")
+             for name in sorted(stored)])
+
+    def _mark_complete(self) -> None:
+        self.connection.execute(
+            f'UPDATE "{MANIFEST_TABLE}" SET "value" = ? '
+            f'WHERE "key" = ?', ("1", "complete"))
+
+    def _rollback_incomplete(self, manifest: LoadManifest) -> None:
+        """Drop everything an interrupted fresh load left behind."""
+        try:
+            for name in sorted(manifest.watermarks):
+                self.connection.execute(f'DROP TABLE IF EXISTS "{name}"')
+            self.connection.execute(
+                f'DROP TABLE IF EXISTS "{MANIFEST_TABLE}"')
+            self.connection.commit()
+        except sqlite3.Error as exc:
+            raise BackendError(
+                f"rolling back the interrupted load failed: {exc}") from exc
+        for name in manifest.watermarks:
+            if name in self._tables:
+                self._tables.remove(name)
+            self.row_counts.pop(name, None)
+        self._metrics.incr("load_rollbacks")
+
+    def _stored_rows(self, name: str) -> int:
+        if not self._table_on_disk(name):
+            return 0
+        try:
+            row = self.connection.execute(
+                f'SELECT COUNT(*) FROM "{name}"').fetchone()
+        except sqlite3.Error as exc:
+            raise BackendError(
+                f"counting rows of {name!r} failed: {exc}") from exc
+        return int(row[0]) if row else 0
+
+    # ------------------------------------------------------------------
+    # Table DDL
+    # ------------------------------------------------------------------
+    def _register_on_disk(self, name: str) -> None:
+        """Adopt a table already present in the database file."""
+        if name not in self._tables and self._table_on_disk(name):
+            self._tables.append(name)
+            self.row_counts.setdefault(name, 0)
+
+    def _create_table(self, table) -> None:
+        try:
+            self.connection.execute(create_table_sql(table))
+        except sqlite3.Error as exc:
+            raise BackendError(
+                f"creating table {table.name!r} failed: {exc}") from exc
+        if table.name not in self._tables:
+            self._tables.append(table.name)
+        self.row_counts.setdefault(table.name, 0)
+        self._metrics.incr("tables_loaded")
+
     def _ensure_table(self, table, append: bool = False) -> None:
         """Create ``table``; an existing one is an error unless appending.
 
@@ -252,9 +493,7 @@ class SQLiteBackend:
         :class:`BackendError` instead of sqlite's raw "table already
         exists", and ``append=True`` turns both into an append-load.
         """
-        if table.name not in self._tables and self._table_on_disk(table.name):
-            self._tables.append(table.name)
-            self.row_counts.setdefault(table.name, 0)
+        self._register_on_disk(table.name)
         if table.name in self._tables:
             if append:
                 return
@@ -262,14 +501,7 @@ class SQLiteBackend:
                 f"table {table.name!r} already exists on this backend; "
                 f"load() is one-shot per database — pass append=True to "
                 f"append rows, or use a fresh backend/database")
-        try:
-            self.connection.execute(create_table_sql(table))
-        except sqlite3.Error as exc:
-            raise BackendError(
-                f"creating table {table.name!r} failed: {exc}") from exc
-        self._tables.append(table.name)
-        self.row_counts.setdefault(table.name, 0)
-        self._metrics.incr("tables_loaded")
+        self._create_table(table)
 
     def _table_on_disk(self, name: str) -> bool:
         try:
@@ -326,11 +558,20 @@ class SQLiteBackend:
         return self.execute_sql(render_query(query))
 
     def execute_sql(self, sql: str) -> list[tuple]:
+        active_fault_plan().maybe_raise("backend.execute")
         connection = self._thread_connection()
         with self.tracer.span("backend.query", backend=self.name):
             try:
                 cursor = connection.execute(sql)
                 rows = cursor.fetchall()
+            except sqlite3.OperationalError as exc:
+                message = str(exc).lower()
+                if "locked" in message or "busy" in message:
+                    # SQLITE_BUSY/SQLITE_LOCKED: momentary under WAL /
+                    # shared cache — retryable, per the class contract.
+                    raise BackendBusyError(
+                        f"database busy: {exc}\nSQL: {sql}") from exc
+                raise BackendError(f"query failed: {exc}\nSQL: {sql}") from exc
             except sqlite3.Error as exc:
                 raise BackendError(f"query failed: {exc}\nSQL: {sql}") from exc
         self._metrics.incr("queries_executed")

@@ -517,15 +517,36 @@ def _serve_design(args, tree, stats, workload, out):
 
 def _make_service(args, schema, configuration, docs):
     from .serve import QueryService
+    max_queue = getattr(args, "max_queue", None)
+    kwargs = {}
+    if max_queue is not None:
+        # -1 on the command line = unbounded; otherwise the bound.
+        kwargs["max_queue"] = None if max_queue < 0 else max_queue
     return QueryService(schema, docs, configuration=configuration,
                         workers=args.workers,
                         plan_cache_size=args.plan_cache,
                         db_path=args.db,
-                        load_batch_size=getattr(args, "load_batch", None))
+                        load_batch_size=getattr(args, "load_batch", None),
+                        deadline=getattr(args, "deadline", None),
+                        **kwargs)
+
+
+def _install_cli_faults(args):
+    """Install ``--faults`` and return a restore callable.
+
+    The CLI runs in-process in tests, so the previously active plan is
+    restored afterwards instead of leaking into the next command.
+    """
+    from .resilience import active_fault_plan, install_fault_plan
+    previous = active_fault_plan()
+    if getattr(args, "faults", None):
+        install_fault_plan(args.faults)
+    return lambda: install_fault_plan(previous)
 
 
 def cmd_serve(args, out=None) -> int:
     out = out or sys.stdout
+    restore_faults = _install_cli_faults(args)
     tree, docs, stats, workload = _serve_bundle(args, out)
     schema, configuration = _serve_design(args, tree, stats, workload, out)
     service = _make_service(args, schema, configuration, docs)
@@ -561,6 +582,7 @@ def cmd_serve(args, out=None) -> int:
         print(service.stats().describe(), file=out)
     finally:
         service.close()
+        restore_faults()
     return 0
 
 
@@ -570,6 +592,7 @@ def cmd_loadgen(args, out=None) -> int:
     out = out or sys.stdout
     from .serve import LoadGenerator, write_run_report
     from .workload import zipf_mix
+    restore_faults = _install_cli_faults(args)
     tree, docs, stats, workload = _serve_bundle(args, out)
     schema, configuration = _serve_design(args, tree, stats, workload, out)
     mix = zipf_mix(workload, skew=args.zipf)
@@ -580,12 +603,23 @@ def cmd_loadgen(args, out=None) -> int:
                                   rate=args.rate)
         report = generator.run(requests=args.requests,
                                duration=args.duration)
+        # Snapshot counters now: verify adds its own requests to the
+        # live service, which must not leak into the run's numbers.
+        service_stats = service.stats()
         print(report.describe(), file=out)
-        print(service.stats().describe(), file=out)
+        print(service_stats.describe(), file=out)
         failures = []
         if args.verify:
-            mismatches = _verify_against_engine(service, schema, docs, mix,
-                                                out)
+            # The oracle check must see the service fault-free: a
+            # deterministic plan would otherwise fail verify queries on
+            # purpose and report phantom divergence.
+            from .resilience import NULL_PLAN, install_fault_plan
+            install_fault_plan(NULL_PLAN)
+            try:
+                mismatches = _verify_against_engine(service, schema, docs,
+                                                    mix, out)
+            finally:
+                restore_faults()
             if mismatches:
                 failures.append(f"{mismatches} queries diverge from the "
                                 f"engine oracle")
@@ -593,11 +627,18 @@ def cmd_loadgen(args, out=None) -> int:
             path = write_run_report(args.report, report, service,
                                     meta={"dataset": args.dataset or "files",
                                           "mapping": args.mapping,
-                                          "tuned": args.tune})
+                                          "tuned": args.tune},
+                                    stats=service_stats)
             print(f"wrote HTML report to {path}", file=out)
         if args.json:
             payload = report.to_dict()
             payload["plan_cache"] = service.plan_cache.stats()
+            payload["resilience"] = {
+                "shed": service_stats.shed,
+                "retries": service_stats.retries,
+                "timeouts": service_stats.timeouts,
+                "breaker": service_stats.breaker,
+            }
             Path(args.json).write_text(json.dumps(payload, indent=2),
                                        encoding="utf-8")
             print(f"wrote JSON summary to {args.json}", file=out)
@@ -609,6 +650,21 @@ def cmd_loadgen(args, out=None) -> int:
                 failures.append(f"{report.errors} errored requests")
             if cache_stats["hits"] <= 0:
                 failures.append("plan cache never hit")
+        total = max(len(report.records), 1)
+        if args.max_shed_rate is not None and \
+                report.shed / total > args.max_shed_rate:
+            failures.append(
+                f"shed rate {report.shed / total:.1%} exceeds "
+                f"--max-shed-rate {args.max_shed_rate:.1%}")
+        if args.max_error_rate is not None and \
+                report.errors / total > args.max_error_rate:
+            failures.append(
+                f"error rate {report.errors / total:.1%} exceeds "
+                f"--max-error-rate {args.max_error_rate:.1%}")
+        if args.slo_p95 is not None and report.latency(95) > args.slo_p95:
+            failures.append(
+                f"p95 latency {report.latency(95):.3f}s exceeds "
+                f"--slo-p95 {args.slo_p95:.3f}s")
         if failures:
             for failure in failures:
                 print(f"SMOKE FAIL: {failure}", file=out)
@@ -618,6 +674,7 @@ def cmd_loadgen(args, out=None) -> int:
                   file=out)
     finally:
         service.close()
+        restore_faults()
     return 0
 
 
@@ -905,6 +962,21 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="ROWS",
                          help="rows per streamed bulk-load chunk "
                               "(default: backend default)")
+        resil = p.add_argument_group("resilience")
+        resil.add_argument("--faults", metavar="SPEC", default=None,
+                           help="inject deterministic faults, e.g. "
+                                "'seed=1;backend.execute:0.05:transient;"
+                                "serve.request:0.01:hang:0.2' "
+                                "(see docs/resilience.md)")
+        resil.add_argument("--deadline", type=float, default=None,
+                           metavar="SECONDS",
+                           help="per-request deadline from submission, "
+                                "queue wait included (default: none)")
+        resil.add_argument("--max-queue", type=int, default=None,
+                           metavar="N",
+                           help="queued requests admitted past the "
+                                "workers before shedding; -1 = unbounded "
+                                "(default: 1024)")
 
     p_serve = sub.add_parser(
         "serve",
@@ -947,6 +1019,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--smoke", action="store_true",
                         help="exit non-zero unless QPS > 0, zero "
                              "errors, and the plan cache hit")
+    gates = p_load.add_argument_group("chaos gates (degraded SLO)")
+    gates.add_argument("--max-shed-rate", type=float, default=None,
+                       metavar="FRACTION",
+                       help="fail if more than this fraction of requests "
+                            "was shed (admission control + breaker)")
+    gates.add_argument("--max-error-rate", type=float, default=None,
+                       metavar="FRACTION",
+                       help="fail if more than this fraction of requests "
+                            "errored (shed included)")
+    gates.add_argument("--slo-p95", type=float, default=None,
+                       metavar="SECONDS",
+                       help="fail if p95 latency of completed requests "
+                            "exceeds this")
     p_load.set_defaults(func=cmd_loadgen)
     return parser
 

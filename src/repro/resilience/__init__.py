@@ -12,15 +12,23 @@ docs/resilience.md):
   degrade to *infeasible-by-fault* and the search continues;
 * :mod:`~repro.resilience.checkpoint` — a :class:`CheckpointStore`
   snapshotting search state atomically, so a killed search resumes to
-  an identical :class:`DesignResult`.
+  an identical :class:`DesignResult`;
+* :mod:`~repro.resilience.breaker` — an error-rate
+  :class:`CircuitBreaker` with a seeded probe schedule, used by the
+  serving layer to fast-fail when the backend goes bad and to recover
+  deterministically.
 """
 
+from .breaker import CLOSED, OPEN, CircuitBreaker
 from .checkpoint import CheckpointStore
 from .faults import (NULL_PLAN, RETRYABLE_CATEGORIES, FaultPlan, FaultRule,
                      active_fault_plan, classify, install_fault_plan)
 from .policy import RetryPolicy, note_suppressed
 
 __all__ = [
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
     "FaultPlan",
     "FaultRule",
     "NULL_PLAN",

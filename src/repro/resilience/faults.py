@@ -18,6 +18,11 @@ Sites (see docs/resilience.md for the full table):
 ``cache.read``      a persistent-cache lookup
 ``cache.write``     a persistent-cache store (supports ``torn`` writes)
 ``checkpoint.write`` a search-checkpoint write
+``serve.request``   one query-service request attempt (worker thread)
+``serve.translate`` one plan-cache XPath→SQL translation
+``backend.execute`` one backend query execution (the serve path)
+``backend.connect`` opening a backend connection (incl. per-thread)
+``backend.load.batch`` one bulk-load batch insert
 =================== ====================================================
 
 Fault kinds:
@@ -46,6 +51,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import threading
 import time
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -100,6 +106,11 @@ class FaultPlan:
         self.seed = seed
         self.rules: dict[str, FaultRule] = {r.site: r for r in (rules or [])}
         self._counts: dict[str, int] = {}
+        # Serve-pool threads hit maybe_raise concurrently; an unlocked
+        # read-modify-write of the per-site counter would let two
+        # threads claim the same invocation number (double-firing one
+        # scheduled fault and skipping another).
+        self._count_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @property
@@ -144,8 +155,9 @@ class FaultPlan:
         rule = self.rules.get(site)
         if rule is None:
             return None
-        count = self._counts.get(site, 0) + 1
-        self._counts[site] = count
+        with self._count_lock:
+            count = self._counts.get(site, 0) + 1
+            self._counts[site] = count
         if count <= rule.after:
             return None
         if rule.rate >= 1.0:
@@ -167,7 +179,8 @@ class FaultPlan:
 
     def reset(self) -> None:
         """Forget invocation counts (a fresh deterministic replay)."""
-        self._counts.clear()
+        with self._count_lock:
+            self._counts.clear()
 
 
 #: The disabled plan: every query is a fast no-op.
@@ -219,6 +232,11 @@ def classify(exc: BaseException) -> str:
     """
     if isinstance(exc, InjectedFault):
         return "transient" if exc.retryable else "fatal"
+    if isinstance(exc, ReproError) and getattr(exc, "retryable", False):
+        # Library errors that declare themselves retryable — e.g. the
+        # SQLite backend's SQLITE_BUSY/SQLITE_LOCKED wrapper — without
+        # this module having to import every backend's exception types.
+        return "transient"
     if isinstance(exc, EvaluationTimeout):
         return "timeout"
     if isinstance(exc, CheckError):

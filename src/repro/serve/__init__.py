@@ -12,12 +12,17 @@ HTML run report archives one run. See docs/serving.md.
 from .loadgen import LoadGenerator, LoadReport, RequestRecord
 from .plan_cache import CachedPlan, PlanCache
 from .report import render_run_report, write_run_report
-from .service import QueryService, ServeResult, ServiceError, ServiceStats
+from .service import (CircuitOpenError, QueryService, RequestTimeout,
+                      ServeResult, ServiceError, ServiceOverloaded,
+                      ServiceStats)
 
 __all__ = [
     "QueryService",
     "ServeResult",
     "ServiceError",
+    "ServiceOverloaded",
+    "RequestTimeout",
+    "CircuitOpenError",
     "ServiceStats",
     "PlanCache",
     "CachedPlan",

@@ -32,6 +32,7 @@ import hashlib
 import random
 import threading
 import time
+from collections import Counter
 from dataclasses import dataclass, field
 
 from ..obs import NullTracer, Tracer, get_tracer
@@ -52,6 +53,15 @@ class RequestRecord:
     rows: int = 0
     cached_plan: bool = False
     error: str | None = None
+    digest: str | None = None  # result-rows digest (byte-identity checks)
+    retries: int = 0           # transparent retries inside the service
+
+
+def _rows_digest(rows: list[tuple]) -> str:
+    """Order-sensitive digest of a result set, for byte-identity checks
+    between chaos and fault-free runs."""
+    text = "\n".join(repr(row) for row in rows)
+    return hashlib.sha1(text.encode("utf-8")).hexdigest()[:16]
 
 
 def _percentile(sorted_values: list[float], p: float) -> float:
@@ -105,6 +115,41 @@ class LoadReport:
             return 0.0
         return sum(1 for r in done if r.cached_plan) / len(done)
 
+    @property
+    def errors_by_type(self) -> dict[str, int]:
+        """Failed-request counts keyed by exception type name."""
+        counts = Counter(r.error.split(":", 1)[0]
+                         for r in self.records if r.error is not None)
+        return dict(sorted(counts.items()))
+
+    @property
+    def shed(self) -> int:
+        """Requests fast-failed by admission control or the breaker."""
+        by_type = self.errors_by_type
+        return (by_type.get("ServiceOverloaded", 0)
+                + by_type.get("CircuitOpenError", 0))
+
+    @property
+    def total_retries(self) -> int:
+        return sum(r.retries for r in self.records)
+
+    @property
+    def results_digest(self) -> str:
+        """Digest over every successful request's result rows, keyed by
+        schedule index.
+
+        Two runs of the same seeded chaos plan agree iff the same
+        requests succeeded *and* each returned byte-identical rows —
+        the reproducibility acceptance check. Byte-identity against a
+        fault-free run is checked per record (compare ``digest`` at
+        equal ``index``), since chaos changes *which* requests fail,
+        never what success returns.
+        """
+        parts = [f"{r.index}:{r.digest}" for r in self.records
+                 if r.error is None]
+        return hashlib.sha1("\n".join(parts).encode("utf-8")
+                            ).hexdigest()[:16]
+
     def latency(self, p: float) -> float:
         """Exact p-th percentile latency over completed requests."""
         return _percentile(sorted(r.seconds for r in self.completed), p)
@@ -128,6 +173,10 @@ class LoadReport:
             },
             "cached_plan_rate": round(self.cached_plan_rate, 4),
             "sequence_digest": self.sequence_digest,
+            "results_digest": self.results_digest,
+            "shed": self.shed,
+            "retries": self.total_retries,
+            "errors_by_type": self.errors_by_type,
         }
 
     def describe(self) -> str:
@@ -136,7 +185,7 @@ class LoadReport:
                 f"{self.workers} workers")
         if self.rate is not None:
             head += f", target {self.rate:g} req/s"
-        return "\n".join([
+        lines = [
             head,
             f"wall time: {self.wall_seconds:.3f}s   QPS: {self.qps:.1f}",
             f"latency: p50 {self.latency(50) * 1e3:.3f}ms  "
@@ -144,7 +193,14 @@ class LoadReport:
             f"p99 {self.latency(99) * 1e3:.3f}ms",
             f"served from cached plan: {self.cached_plan_rate:.1%}   "
             f"sequence digest: {self.sequence_digest}",
-        ])
+            f"shed: {self.shed}   retries: {self.total_retries}   "
+            f"results digest: {self.results_digest}",
+        ]
+        if self.errors:
+            by_type = ", ".join(f"{name} x{count}" for name, count
+                                in self.errors_by_type.items())
+            lines.append(f"errors by type: {by_type}")
+        return "\n".join(lines)
 
 
 class _Schedule:
@@ -250,6 +306,8 @@ class LoadGenerator:
         record.seconds = time.perf_counter() - started
         record.rows = len(result.rows)
         record.cached_plan = result.cached_plan
+        record.digest = _rows_digest(result.rows)
+        record.retries = result.retries
 
     def _run_closed(self, schedule: _Schedule) -> None:
         """``clients`` threads each issue the next scheduled request as
@@ -285,6 +343,8 @@ class LoadGenerator:
             record.seconds = done_at - submitted
             record.rows = len(result.rows)
             record.cached_plan = result.cached_plan
+            record.digest = _rows_digest(result.rows)
+            record.retries = result.retries
 
         futures = []
         due = 0.0

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 from ..mapping import MappedSchema
 from ..obs import NullTracer, Tracer, get_tracer
+from ..resilience import active_fault_plan
 from ..search import mapping_digest
 from ..sqlast import Query
 from ..translate import Translator
@@ -89,6 +90,7 @@ class PlanCache:
             self.misses += 1
             self._metrics.incr("misses")
         with self.tracer.span("serve.translate", key=key):
+            active_fault_plan().maybe_raise("serve.translate")
             sql = self._translator.translate(query)
         entry = CachedPlan(key=key, xpath=query, sql=sql)
         with self._lock:

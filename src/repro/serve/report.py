@@ -39,10 +39,38 @@ def _traffic_table(report: LoadReport) -> str:
     return html_table(["query", "requests", "share", "errors"], rows)
 
 
+def _resilience_section(report: LoadReport, stats) -> str:
+    breaker = stats.breaker or {}
+    summary = {
+        "requests shed (client-observed)": report.shed,
+        "shed by admission control (service)": stats.shed,
+        "transient retries": stats.retries,
+        "deadline timeouts": stats.timeouts,
+        "breaker state": breaker.get("state", "closed"),
+        "breaker trips / probes / fast-fails":
+            f"{breaker.get('trips', 0)} / {breaker.get('probes', 0)} / "
+            f"{breaker.get('fast_fails', 0)}",
+        "results digest": report.results_digest,
+    }
+    blocks = [html_definition_list(summary)]
+    by_type = report.errors_by_type
+    if by_type:
+        blocks.append(html_table(
+            ["error type", "requests"],
+            [[name, count] for name, count in by_type.items()]))
+    return "\n".join(blocks)
+
+
 def render_run_report(report: LoadReport, service: QueryService,
-                      meta: dict | None = None) -> str:
-    """The complete HTML page for one load run."""
-    stats = service.stats()
+                      meta: dict | None = None, stats=None) -> str:
+    """The complete HTML page for one load run.
+
+    ``stats`` overrides the service-counter snapshot — pass the one
+    taken right after the run when later steps (verify) would add
+    requests to the live counters.
+    """
+    if stats is None:
+        stats = service.stats()
     summary = {
         "mode": f"{report.mode} loop",
         "seed": report.seed,
@@ -74,6 +102,7 @@ def render_run_report(report: LoadReport, service: QueryService,
          html_table(["percentile", "latency"], latency_rows)),
         ("Latency distribution (service-side histogram)",
          _latency_chart(service)),
+        ("Resilience", _resilience_section(report, stats)),
         ("Plan cache", html_definition_list(cache_summary)),
         ("Traffic by query", _traffic_table(report)),
     ]
@@ -82,10 +111,10 @@ def render_run_report(report: LoadReport, service: QueryService,
 
 def write_run_report(path: str | Path, report: LoadReport,
                      service: QueryService,
-                     meta: dict | None = None) -> Path:
+                     meta: dict | None = None, stats=None) -> Path:
     """Render and write the report; returns the written path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(render_run_report(report, service, meta),
+    path.write_text(render_run_report(report, service, meta, stats=stats),
                     encoding="utf-8")
     return path

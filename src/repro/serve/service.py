@@ -16,10 +16,30 @@ The service owns a thread pool; :meth:`submit` is the asynchronous
 client API (returns a future), :meth:`serve` the synchronous one. Both
 funnel through the same request path, so every answer — cached plan or
 not — is the plan-cache-translated, real-DBMS-executed result.
+
+Resilience (docs/resilience.md, docs/serving.md):
+
+* **admission control** — ``max_queue`` bounds the requests waiting
+  behind the ``workers`` executing ones; past the bound :meth:`submit`
+  fast-fails with :class:`ServiceOverloaded` instead of growing an
+  unbounded pool queue (deterministic load shedding: whether a request
+  is shed depends only on how many are in flight when it arrives);
+* **deadlines** — ``deadline`` bounds each request's total latency
+  *from submission*, queue wait included; a request over its deadline
+  dies with :class:`RequestTimeout` and is never retried;
+* **retries** — transient faults (``SQLITE_BUSY`` under WAL, injected
+  transients) are retried in place per the
+  :class:`~repro.resilience.RetryPolicy`, invisibly to the client;
+* **circuit breaking** — a :class:`~repro.resilience.CircuitBreaker`
+  watches outcomes and, once tripped, sheds requests with
+  :class:`CircuitOpenError` except for seeded half-open probes, so a
+  dead backend costs microseconds per request instead of a timeout
+  each, and chaos runs replay deterministically.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -31,15 +51,29 @@ from ..mapping import MappedSchema
 from ..obs import (LatencyHistogram, NullMetricRegistry, NullTracer,
                    Tracer, get_tracer)
 from ..physdesign import Configuration
-from ..resilience import note_suppressed
+from ..resilience import (RETRYABLE_CATEGORIES, CircuitBreaker, RetryPolicy,
+                          active_fault_plan, classify, note_suppressed)
 from ..xpath import XPathQuery
 from .plan_cache import PlanCache
 
-__all__ = ["QueryService", "ServeResult", "ServiceError", "ServiceStats"]
+__all__ = ["QueryService", "ServeResult", "ServiceError", "ServiceStats",
+           "ServiceOverloaded", "RequestTimeout", "CircuitOpenError"]
 
 
 class ServiceError(ReproError):
     """The query service was misused (not started, already closed)."""
+
+
+class ServiceOverloaded(ServiceError):
+    """Admission control shed the request: the queue is full."""
+
+
+class RequestTimeout(ServiceError):
+    """The request exceeded its deadline (queue wait included)."""
+
+
+class CircuitOpenError(ServiceError):
+    """The circuit breaker is open; the request was fast-failed."""
 
 
 @dataclass(frozen=True)
@@ -51,6 +85,16 @@ class ServeResult:
     seconds: float
     plan_key: str
     cached_plan: bool      # True: the plan came from the cache
+    retries: int = 0       # transparent transient-fault re-attempts
+
+
+@dataclass(frozen=True)
+class _Request:
+    """One admitted request as it travels to a pool worker."""
+
+    xpath: XPathQuery | str
+    enqueued: float        # perf_counter at admission (deadline anchor)
+    probe: bool = False    # a breaker half-open trial
 
 
 @dataclass
@@ -59,11 +103,22 @@ class ServiceStats:
 
     requests: int = 0
     errors: int = 0
+    shed: int = 0          # fast-failed by admission control
+    retries: int = 0       # transient re-attempts across all requests
+    timeouts: int = 0      # requests killed by their deadline
+    breaker: dict = field(default_factory=dict)
     plan_cache: dict = field(default_factory=dict)
     latency: dict = field(default_factory=dict)
 
     def describe(self) -> str:
         lines = [f"requests: {self.requests} ({self.errors} errors)"]
+        lines.append(
+            f"resilience: shed {self.shed}  retries {self.retries}  "
+            f"deadline timeouts {self.timeouts}")
+        if self.breaker:
+            lines.append(
+                "breaker: {state} (trips {trips}, probes {probes}, "
+                "fast-fails {fast_fails})".format(**self.breaker))
         if self.latency.get("count"):
             lines.append(
                 "latency: p50 {p50:.6f}s  p95 {p95:.6f}s  p99 {p99:.6f}s  "
@@ -90,6 +145,15 @@ class QueryService:
     streaming chunk size — with a lazy document (``stream=True``
     datasets) the service can load far more data than fits in memory
     as a materialized tree (docs/scaling.md).
+
+    Resilience knobs (see the module docstring): ``max_queue`` bounds
+    queued-but-not-executing requests (``None`` = unbounded);
+    ``deadline`` is the per-request wall-clock budget in seconds from
+    submission (``None`` = none); ``retry_policy`` governs transparent
+    retries of transient faults (default:
+    :meth:`RetryPolicy.from_env`); ``breaker`` replaces the default
+    :class:`CircuitBreaker` (seeded 0) e.g. to reseed its probe
+    schedule or disable it via a never-tripping threshold.
     """
 
     def __init__(self, schema: MappedSchema, docs,
@@ -97,9 +161,17 @@ class QueryService:
                  workers: int = 4, plan_cache_size: int = 128,
                  db_path: str | None = None,
                  load_batch_size: int | None = None,
+                 max_queue: int | None = 1024,
+                 deadline: float | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 breaker: CircuitBreaker | None = None,
                  tracer: Tracer | NullTracer | None = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if max_queue is not None and max_queue < 0:
+            raise ValueError("max_queue must be >= 0 (None = unbounded)")
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be > 0 (None = no deadline)")
         self.tracer = tracer if tracer is not None else get_tracer()
         self._metrics = self.tracer.metrics("serve.service")
         # The latency histogram is service state, not optional
@@ -111,42 +183,116 @@ class QueryService:
         self.schema = schema
         self.configuration = configuration or Configuration()
         self.workers = workers
+        self.max_queue = max_queue
+        self.deadline = deadline
+        self.retry_policy = retry_policy or RetryPolicy.from_env()
+        self.breaker = breaker or CircuitBreaker()
         self.plan_cache = PlanCache(schema, capacity=plan_cache_size,
                                     tracer=self.tracer)
         self._pool: ThreadPoolExecutor | None = None
         self._closed = False
         self._requests = 0
         self._errors = 0
+        self._retries = 0
+        self._timeouts = 0
+        self._shed = 0
         self._count_lock = threading.Lock()
+        # Admission state: ``_inflight`` counts requests admitted but
+        # not yet finished (queued + executing). Guarded by its own
+        # lock, which also serializes the submit-vs-close decision.
+        self._inflight = 0
+        self._admission_lock = threading.Lock()
 
         with self.tracer.span("serve.startup", workers=workers):
-            loader = SQLiteBackend(db_path or ":memory:",
-                                   tracer=self.tracer)
-            load_kwargs = ({"batch_size": load_batch_size}
-                           if load_batch_size else {})
-            loader.load(schema, docs, **load_kwargs)
-            loader.apply_configuration(self.configuration)
-            if db_path is None:
-                self.backend: SQLiteBackend = loader
-            else:
-                # Load and build DDL through a writable connection,
-                # then serve through read-only worker connections on
-                # the same file.
-                loader.close()
-                self.backend = SQLiteBackend(db_path, tracer=self.tracer,
-                                             read_only=True)
+            # If startup dies mid-load on a file database *we* created,
+            # remove it — otherwise a retry of the same command hits
+            # "table already exists" on the partial file. A
+            # pre-existing file is never deleted.
+            created = db_path is not None and not os.path.exists(db_path)
+            loader: SQLiteBackend | None = None
+            try:
+                loader = SQLiteBackend(db_path or ":memory:",
+                                       tracer=self.tracer)
+                load_kwargs = ({"batch_size": load_batch_size}
+                               if load_batch_size else {})
+                loader.load(schema, docs, **load_kwargs)
+                loader.apply_configuration(self.configuration)
+                if db_path is None:
+                    self.backend: SQLiteBackend = loader
+                else:
+                    # Load and build DDL through a writable connection,
+                    # then serve through read-only worker connections
+                    # on the same file.
+                    loader.close()
+                    self.backend = SQLiteBackend(db_path,
+                                                 tracer=self.tracer,
+                                                 read_only=True)
+            except BaseException:
+                if loader is not None:
+                    loader.close()
+                if created and db_path is not None:
+                    for suffix in ("", "-wal", "-shm"):
+                        try:
+                            os.remove(db_path + suffix)
+                        except OSError:
+                            pass
+                raise
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve")
 
     # ------------------------------------------------------------------
     # Request path
     # ------------------------------------------------------------------
-    def _handle(self, xpath: XPathQuery | str) -> ServeResult:
+    def _check_deadline(self, enqueued: float) -> None:
+        if self.deadline is None:
+            return
+        elapsed = time.perf_counter() - enqueued
+        if elapsed > self.deadline:
+            with self._count_lock:
+                self._timeouts += 1
+            self._metrics.incr("request_timeouts")
+            raise RequestTimeout(
+                f"request exceeded its {self.deadline:.3f}s deadline "
+                f"({elapsed:.3f}s elapsed, queue wait included)")
+
+    def _execute_with_retry(self, plan, enqueued: float
+                            ) -> tuple[list[tuple], int]:
+        """Execute the plan's SQL, retrying transient faults in place.
+
+        Only :data:`~repro.resilience.RETRYABLE_CATEGORIES` failures
+        (injected transients, ``SQLITE_BUSY`` wrapped as
+        ``BackendBusyError``) are re-attempted, never timeouts — a
+        request over its deadline is dead however retryable the error.
+        """
+        retries = 0
+        attempt = 0
+        while True:
+            attempt += 1
+            self._check_deadline(enqueued)
+            try:
+                return self.backend.execute(plan.sql), retries
+            except Exception as exc:
+                if (classify(exc) not in RETRYABLE_CATEGORIES
+                        or attempt >= self.retry_policy.max_attempts):
+                    raise
+                note_suppressed(exc, "serve.retry", self.tracer)
+                retries += 1
+                with self._count_lock:
+                    self._retries += 1
+                self._metrics.incr("request_retries")
+                time.sleep(self.retry_policy.backoff_for(attempt))
+
+    def _handle(self, request: "_Request") -> ServeResult:
         started = time.perf_counter()
         with self.tracer.span("serve.request") as span:
-            was_cached = xpath in self.plan_cache
-            plan = self.plan_cache.get_or_translate(xpath)
-            rows = self.backend.execute(plan.sql)
+            # The injection point for request-level chaos: a ``hang``
+            # rule here overruns the deadline, a ``transient`` fails
+            # the request before the backend is touched.
+            active_fault_plan().maybe_raise("serve.request")
+            self._check_deadline(request.enqueued)
+            was_cached = request.xpath in self.plan_cache
+            plan = self.plan_cache.get_or_translate(request.xpath)
+            rows, retries = self._execute_with_retry(plan, request.enqueued)
             seconds = time.perf_counter() - started
             span.set("plan_key", plan.key)
             span.set("cached_plan", was_cached)
@@ -158,11 +304,11 @@ class QueryService:
             self._requests += 1
         return ServeResult(xpath=str(plan.xpath), rows=rows,
                            seconds=seconds, plan_key=plan.key,
-                           cached_plan=was_cached)
+                           cached_plan=was_cached, retries=retries)
 
-    def _handle_counted(self, xpath: XPathQuery | str) -> ServeResult:
+    def _handle_counted(self, request: "_Request") -> ServeResult:
         try:
-            return self._handle(xpath)
+            result = self._handle(request)
         except Exception as exc:
             # The failure is re-raised to the caller's Future, but it is
             # also classified and counted here so per-service error
@@ -171,13 +317,51 @@ class QueryService:
             self._metrics.incr("errors")
             with self._count_lock:
                 self._errors += 1
+            self.breaker.record(False, probe=request.probe)
             raise
+        else:
+            self.breaker.record(True, probe=request.probe)
+            return result
+        finally:
+            with self._admission_lock:
+                self._inflight -= 1
 
     def submit(self, xpath: XPathQuery | str) -> "Future[ServeResult]":
-        """Asynchronously serve one query (the open-loop client API)."""
-        if self._closed or self._pool is None:
-            raise ServiceError("query service is closed")
-        return self._pool.submit(self._handle_counted, xpath)
+        """Asynchronously serve one query (the open-loop client API).
+
+        Admission happens here, synchronously: a closed service raises
+        :class:`ServiceError`, an open circuit breaker
+        :class:`CircuitOpenError` (unless this arrival is a scheduled
+        probe), and a full queue :class:`ServiceOverloaded` — all
+        without touching the pool, so rejection stays microseconds
+        even when the backend is wedged.
+        """
+        with self._admission_lock:
+            if self._closed or self._pool is None:
+                raise ServiceError("query service is closed")
+            decision = self.breaker.admit()
+            if decision == "shed":
+                self._metrics.incr("breaker_fast_fails")
+                raise CircuitOpenError(
+                    "circuit breaker is open; request fast-failed")
+            if (self.max_queue is not None
+                    and self._inflight >= self.workers + self.max_queue):
+                with self._count_lock:
+                    self._shed += 1
+                self._metrics.incr("requests_shed")
+                raise ServiceOverloaded(
+                    f"admission queue is full ({self._inflight} in "
+                    f"flight, max_queue={self.max_queue})")
+            request = _Request(xpath=xpath, enqueued=time.perf_counter(),
+                               probe=decision == "probe")
+            self._inflight += 1
+            try:
+                return self._pool.submit(self._handle_counted, request)
+            except RuntimeError as exc:
+                # close() raced us to the executor; surface the
+                # library's error type, not the pool's internal one.
+                self._inflight -= 1
+                raise ServiceError("query service is closed") from exc
 
     def serve(self, xpath: XPathQuery | str) -> ServeResult:
         """Serve one query and wait for its result (closed-loop API)."""
@@ -192,16 +376,27 @@ class QueryService:
     def stats(self) -> ServiceStats:
         with self._count_lock:
             requests, errors = self._requests, self._errors
+            shed, retries = self._shed, self._retries
+            timeouts = self._timeouts
         return ServiceStats(requests=requests, errors=errors,
+                            shed=shed, retries=retries, timeouts=timeouts,
+                            breaker=self.breaker.snapshot(),
                             plan_cache=self.plan_cache.stats(),
                             latency=self._latency.snapshot())
 
-    def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
+    def close(self, drain: bool = True) -> None:
+        """Stop the service: reject new requests, then shut down.
+
+        ``drain=True`` (the default) finishes every in-flight request
+        before closing the backend; ``drain=False`` cancels queued
+        requests and closes immediately (executing requests fail).
+        """
+        with self._admission_lock:
+            if self._closed:
+                return
+            self._closed = True
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            self._pool.shutdown(wait=drain, cancel_futures=not drain)
         self.backend.close()
 
     def __enter__(self) -> "QueryService":

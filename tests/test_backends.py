@@ -408,3 +408,141 @@ class TestCalibrationSmoke:
                 <= report.design("logical-only").estimated_cost)
         text = report.describe()
         assert "rank correlation" in text and "logical-only" in text
+
+
+# ----------------------------------------------------------------------
+# Crash-safe bulk load (the load manifest)
+# ----------------------------------------------------------------------
+
+
+class TestCrashSafeLoad:
+    """An interrupted ``load()`` must be detected on reopen and either
+    resumed to a byte-identical database or rolled back cleanly —
+    never a raw sqlite error or a partial table set."""
+
+    @pytest.fixture(autouse=True)
+    def _no_leaked_faults(self):
+        from repro.resilience import NULL_PLAN, install_fault_plan
+        install_fault_plan(NULL_PLAN)
+        yield
+        install_fault_plan(NULL_PLAN)
+
+    def _schema(self, dblp_data):
+        tree, docs = dblp_data
+        return derive_schema(hybrid_inlining(tree)), docs
+
+    def _table_digests(self, path, schema):
+        """Sorted-row digest per mapped table of the database file."""
+        with SQLiteBackend(str(path), read_only=True) as backend:
+            return {name: sorted(backend.execute_sql(
+                        f'SELECT * FROM "{name}"'))
+                    for name in schema.table_names}
+
+    def _crash_load(self, path, schema, docs, after_batches=3):
+        """Kill a fresh load after ``after_batches`` committed batches
+        (fault-raised mid-load, connection discarded uncommitted — the
+        same durable state a SIGKILL leaves behind under WAL)."""
+        from repro.errors import InjectedFault
+        from repro.resilience import install_fault_plan
+        install_fault_plan(
+            f"backend.load.batch:1:fatal:0:{after_batches}")
+        backend = SQLiteBackend(str(path))
+        with pytest.raises(InjectedFault):
+            backend.load(schema, docs, batch_size=40, txn_rows=40)
+        backend.close()  # uncommitted work rolls back, as after SIGKILL
+        from repro.resilience import NULL_PLAN
+        install_fault_plan(NULL_PLAN)
+
+    def test_clean_load_writes_complete_manifest(self, dblp_data, tmp_path):
+        schema, docs = self._schema(dblp_data)
+        with SQLiteBackend(str(tmp_path / "clean.db")) as backend:
+            backend.load(schema, docs)
+            manifest = backend.load_manifest()
+            assert manifest is not None and manifest.complete
+            assert manifest.mode == "fresh"
+            assert manifest.watermarks == backend.row_counts
+
+    def test_interrupted_load_is_detected_on_reopen(self, dblp_data,
+                                                    tmp_path):
+        schema, docs = self._schema(dblp_data)
+        path = tmp_path / "crashed.db"
+        self._crash_load(path, schema, docs)
+        with SQLiteBackend(str(path)) as backend:
+            manifest = backend.load_manifest()
+            assert manifest is not None and not manifest.complete
+            # Something committed, but not everything.
+            committed = sum(manifest.watermarks.values())
+            assert 0 < committed < sum(
+                self._clean_row_counts(schema, docs).values())
+
+    def _clean_row_counts(self, schema, docs):
+        with SQLiteBackend() as backend:
+            backend.load(schema, docs)
+            return dict(backend.row_counts)
+
+    def test_resume_reproduces_the_clean_load(self, dblp_data, tmp_path):
+        schema, docs = self._schema(dblp_data)
+        clean, crashed = tmp_path / "clean.db", tmp_path / "crashed.db"
+        with SQLiteBackend(str(clean)) as backend:
+            backend.load(schema, docs)
+            clean_counts = dict(backend.row_counts)
+        self._crash_load(crashed, schema, docs)
+        with SQLiteBackend(str(crashed)) as backend:
+            backend.load(schema, docs, batch_size=25, resume=True)
+            assert backend.row_counts == clean_counts
+            manifest = backend.load_manifest()
+            assert manifest is not None and manifest.complete
+        assert (self._table_digests(crashed, schema)
+                == self._table_digests(clean, schema))
+
+    def test_default_reload_rolls_back_cleanly(self, dblp_data, tmp_path):
+        schema, docs = self._schema(dblp_data)
+        clean, crashed = tmp_path / "clean.db", tmp_path / "crashed.db"
+        with SQLiteBackend(str(clean)) as backend:
+            backend.load(schema, docs)
+        self._crash_load(crashed, schema, docs)
+        with SQLiteBackend(str(crashed)) as backend:
+            backend.load(schema, docs)  # no resume: rollback + reload
+            manifest = backend.load_manifest()
+            assert manifest is not None and manifest.complete
+        assert (self._table_digests(crashed, schema)
+                == self._table_digests(clean, schema))
+
+    def test_resume_refuses_a_different_schema(self, dblp_data, tmp_path):
+        schema, docs = self._schema(dblp_data)
+        tree, _ = dblp_data
+        other = derive_schema(fully_split(tree))
+        path = tmp_path / "crashed.db"
+        self._crash_load(path, schema, docs)
+        with SQLiteBackend(str(path)) as backend:
+            with pytest.raises(BackendError, match="different mapped"):
+                backend.load(other, docs, resume=True)
+
+    def test_append_and_resume_are_exclusive(self, dblp_data):
+        schema, docs = self._schema(dblp_data)
+        with SQLiteBackend() as backend:
+            with pytest.raises(BackendError, match="mutually exclusive"):
+                backend.load(schema, docs, append=True, resume=True)
+
+    def test_interrupted_append_load_is_refused(self, dblp_data, tmp_path):
+        from repro.errors import InjectedFault
+        from repro.resilience import NULL_PLAN, install_fault_plan
+        schema, docs = self._schema(dblp_data)
+        path = tmp_path / "appended.db"
+        with SQLiteBackend(str(path)) as backend:
+            backend.load(schema, docs)
+        install_fault_plan("backend.load.batch:1:fatal:0:2")
+        backend = SQLiteBackend(str(path))
+        with pytest.raises(InjectedFault):
+            backend.load(schema, docs, batch_size=40, txn_rows=40,
+                         append=True)
+        backend.close()
+        install_fault_plan(NULL_PLAN)
+        with SQLiteBackend(str(path)) as backend:
+            with pytest.raises(BackendError, match="append-load"):
+                backend.load(schema, docs)
+
+    def test_busy_error_classification(self, dblp_data):
+        from repro.backends import BackendBusyError
+        assert issubclass(BackendBusyError, BackendError)
+        assert BackendBusyError("x").retryable is True

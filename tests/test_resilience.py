@@ -7,6 +7,8 @@ evaluation counters — identical to a fault-free run, at ``jobs=1`` and
 but never crash the search or poison a cache.
 """
 
+import threading
+
 import pytest
 
 from repro.errors import InjectedFault
@@ -82,6 +84,37 @@ class TestFaultPlan:
         fires = [plan.fire("evaluate") is not None for _ in range(5)]
         assert fires == [False, False, False, True, True]
 
+    def test_counts_survive_eight_thread_hammer(self):
+        """Regression: the per-site invocation counter was a bare
+        read-modify-write, so concurrent ``fire`` calls could claim the
+        same invocation number — double-firing one scheduled fault and
+        skipping another. Under the lock, 8 threads hammering one site
+        must fire exactly as often as a serial replay of the plan."""
+        threads_n, per_thread = 8, 500
+        plan = FaultPlan([FaultRule("evaluate", 0.3)], seed=13)
+        fired = [0] * threads_n
+        barrier = threading.Barrier(threads_n)
+
+        def worker(slot: int) -> None:
+            barrier.wait()
+            count = 0
+            for _ in range(per_thread):
+                if plan.fire("evaluate") is not None:
+                    count += 1
+            fired[slot] = count
+
+        workers = [threading.Thread(target=worker, args=(i,))
+                   for i in range(threads_n)]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        serial = FaultPlan([FaultRule("evaluate", 0.3)], seed=13)
+        expected = sum(1 for _ in range(threads_n * per_thread)
+                       if serial.fire("evaluate") is not None)
+        assert sum(fired) == expected
+        assert plan._counts["evaluate"] == threads_n * per_thread
+
     def test_bad_specs_rejected(self):
         with pytest.raises(ValueError):
             FaultPlan.from_spec("evaluate:2.0")
@@ -115,6 +148,15 @@ class TestClassify:
         assert classify(OSError()) == "infrastructure"
         assert classify(pickle.PicklingError()) == "infrastructure"
         assert classify(ValueError()) == "fatal"
+
+    def test_self_declared_retryable_repro_errors_are_transient(self):
+        """A ReproError carrying ``retryable = True`` (the SQLite
+        backend's SQLITE_BUSY wrapper) is transient without this module
+        importing backend exception types."""
+        from repro.backends import BackendBusyError, BackendError
+
+        assert classify(BackendBusyError("database busy")) == "transient"
+        assert classify(BackendError("query failed")) == "fatal"
 
 
 # ----------------------------------------------------------------------
