@@ -8,24 +8,38 @@ from .base import EngineBackend, QueryTiming, SQLBackend, timed_runs
 from .calibrate import (CalibrationReport, DesignPoint, QueryPoint,
                         logical_only_design, measure_on_sqlite,
                         run_calibration, spearman)
-from .dialect import (DialectError, create_index_sql, create_table_sql,
-                      create_view_table_sql, insert_sql, quote_identifier,
-                      render_query, sqlite_type)
+from .compare import (CheckResult, CompareReport, backend_factory,
+                      compare_datasets, known_backends)
+from .dbms import RelationalBackend
+from .dialect import (DUCKDB, SQLITE, Dialect, DialectError, DuckDBDialect,
+                      SQLiteDialect, create_index_sql, create_table_sql,
+                      create_view_table_sql, dialect_for, insert_sql,
+                      quote_identifier, render_query, sqlite_type)
 from .diff import (DiffReport, Divergence, compare_backends, multiset_diff,
                    normalize_row, validate_design)
+from .duckdb import DuckDBBackend, duckdb_available
 from .sqlite import (MANIFEST_TABLE, BackendBusyError, BackendError,
                      LoadManifest, SQLiteBackend)
 
 __all__ = [
     "SQLBackend",
     "EngineBackend",
+    "RelationalBackend",
     "SQLiteBackend",
+    "DuckDBBackend",
+    "duckdb_available",
     "QueryTiming",
     "timed_runs",
     "BackendError",
     "BackendBusyError",
     "LoadManifest",
     "MANIFEST_TABLE",
+    "Dialect",
+    "SQLiteDialect",
+    "DuckDBDialect",
+    "SQLITE",
+    "DUCKDB",
+    "dialect_for",
     "DialectError",
     "render_query",
     "quote_identifier",
@@ -40,6 +54,11 @@ __all__ = [
     "validate_design",
     "multiset_diff",
     "normalize_row",
+    "CheckResult",
+    "CompareReport",
+    "compare_datasets",
+    "backend_factory",
+    "known_backends",
     "CalibrationReport",
     "DesignPoint",
     "QueryPoint",

@@ -1,26 +1,43 @@
-"""SQLite dialect: render ``repro.sqlast`` trees and catalog DDL.
+"""SQL dialects: render ``repro.sqlast`` trees and catalog DDL.
 
-``str(query)`` already yields SQL that SQLite mostly accepts, but the
-dialect adapter is deliberately explicit about everything where "mostly"
-is not good enough:
+``str(query)`` already yields SQL that most engines mostly accept, but
+a dialect is deliberately explicit about everything where "mostly" is
+not good enough:
 
 * **Identifier quoting** — every table/column/alias is ``"quoted"`` so
-  schema-derived names can never collide with SQLite keywords.
-* **Type affinity** — the engine stores DATE values as Python strings
-  and BOOLEAN as 0/1 integers, so DATE maps to TEXT affinity (SQLite's
-  own NUMERIC affinity for ``DATE`` would coerce year-like strings to
-  integers and re-order mixed columns) and BOOLEAN to INTEGER.
-  DECIMAL maps to REAL, VARCHAR to TEXT.
-* **Covering indexes** — SQLite has no ``INCLUDE`` clause; included
-  columns are appended to the key so the index still covers the query.
+  schema-derived names can never collide with keywords.
+* **Type affinity** — each dialect declares how the engine's logical
+  :class:`~repro.engine.SQLType` maps onto physical column types (see
+  the per-dialect notes below and docs/backends.md).
+* **Covering indexes** — neither SQLite nor DuckDB has an ``INCLUDE``
+  clause; included columns are appended to the key so the index still
+  covers the query.
 * **Materialized structures** — join views become populated tables
   (``CREATE TABLE ... AS SELECT``), matching how the engine's size and
   cost accounting treats them.
 
-Ordering semantics line up without translation work: SQLite orders
-``NULL < numeric < text`` ascending, exactly the engine's
-``encode_key`` order, and ``ORDER BY <position>`` after ``UNION ALL``
-is supported natively.
+:class:`SQLiteDialect` (the historical default — the module-level
+functions delegate to its singleton for backward compatibility):
+
+* DATE maps to TEXT affinity: the engine stores dates as strings, and
+  SQLite's own NUMERIC affinity for ``DATE`` would coerce year-like
+  strings to integers and re-order mixed columns.
+* BOOLEAN maps to INTEGER (the engine compares/sorts booleans
+  numerically) and DECIMAL to REAL; bound booleans are stored as 0/1.
+
+:class:`DuckDBDialect` keeps DECIMAL as ``DECIMAL(18, 6)`` and BOOLEAN
+as a real ``BOOLEAN`` column — the divergences the comparator must
+reconcile (see docs/backends.md "Backend matrix"). Six fractional
+digits are enough for the generated datasets (one fractional digit) to
+round-trip exactly through the decimal column. DATE stays VARCHAR for
+the same string-storage reason as SQLite, and boolean literals render
+as ``TRUE``/``FALSE`` because DuckDB's comparison of ``BOOLEAN`` with
+an integer literal requires an explicit cast.
+
+Ordering semantics line up without translation work for both dialects:
+SQLite orders ``NULL < numeric < text`` ascending, exactly the
+engine's ``encode_key`` order, and ``ORDER BY <position>`` after
+``UNION ALL`` is supported natively by both engines.
 """
 
 from __future__ import annotations
@@ -31,139 +48,284 @@ from ..sqlast import (And, BoolExpr, ColumnRef, Comparison, Exists, IsNull,
                       Literal, Or, Query, Scalar, Select, SelectItem,
                       TableRef)
 
+__all__ = [
+    "Dialect", "SQLiteDialect", "DuckDBDialect", "DialectError",
+    "SQLITE", "DUCKDB", "dialect_for",
+    # Back-compat module-level functions (SQLite dialect).
+    "quote_identifier", "sqlite_type", "SQLITE_TYPES",
+    "render_scalar", "render_condition", "render_select", "render_query",
+    "create_table_sql", "insert_sql", "create_index_sql",
+    "create_view_table_sql",
+]
+
 
 class DialectError(ReproError):
     """An AST node the dialect cannot render."""
 
 
+class Dialect:
+    """Rendering rules for one SQL engine.
+
+    Subclasses override the ``name``/``types`` class attributes and, if
+    needed, the :meth:`literal` / :meth:`storable` hooks. Everything
+    else (expression and statement rendering, DDL/DML) is shared — the
+    supported AST surface is identical across engines; only spellings
+    of types and constants differ.
+    """
+
+    #: Dialect key as used by ``--backend`` / ``dialect_for``.
+    name = "ansi"
+
+    #: Logical :class:`SQLType` -> physical column type name.
+    types: dict[SQLType, str] = {
+        SQLType.INTEGER: "INTEGER",
+        SQLType.DECIMAL: "DECIMAL",
+        SQLType.VARCHAR: "VARCHAR",
+        SQLType.DATE: "DATE",
+        SQLType.BOOLEAN: "BOOLEAN",
+    }
+
+    # -- hooks ---------------------------------------------------------
+    def quote(self, name: str) -> str:
+        return '"' + name.replace('"', '""') + '"'
+
+    def type_name(self, sql_type: SQLType) -> str:
+        return self.types[sql_type]
+
+    def literal(self, literal: Literal) -> str:
+        """Render one constant.
+
+        ``Literal.__str__`` already yields portable spellings (doubled
+        quotes, 1/0 booleans, repr'd finite floats, NULL); dialects
+        with genuine boolean columns override this.
+        """
+        return str(literal)
+
+    def storable(self, value: object) -> object:
+        """Convert one typed-row value into a driver binding."""
+        return value
+
+    # -- expressions ---------------------------------------------------
+    def render_scalar(self, expr: Scalar) -> str:
+        if isinstance(expr, Literal):
+            return self.literal(expr)
+        if isinstance(expr, ColumnRef):
+            column = self.quote(expr.column)
+            if expr.table:
+                return f"{self.quote(expr.table)}.{column}"
+            return column
+        raise DialectError(f"cannot render scalar {expr!r}")
+
+    def render_condition(self, expr: BoolExpr) -> str:
+        if isinstance(expr, Comparison):
+            return (f"{self.render_scalar(expr.left)} {expr.op.value} "
+                    f"{self.render_scalar(expr.right)}")
+        if isinstance(expr, IsNull):
+            suffix = "IS NOT NULL" if expr.negated else "IS NULL"
+            return f"{self.render_scalar(expr.operand)} {suffix}"
+        if isinstance(expr, And):
+            return " AND ".join(f"({self.render_condition(i)})"
+                                for i in expr.items)
+        if isinstance(expr, Or):
+            return " OR ".join(f"({self.render_condition(i)})"
+                               for i in expr.items)
+        if isinstance(expr, Exists):
+            return f"EXISTS ({self.render_select(expr.subquery)})"
+        raise DialectError(f"cannot render condition {expr!r}")
+
+    # -- statements ----------------------------------------------------
+    # render_table_ref / render_item are public: repro.sqlast.render
+    # calls them (structurally, to avoid a layering cycle) when asked
+    # to pretty-print in a specific dialect.
+    def render_table_ref(self, ref: TableRef) -> str:
+        table = self.quote(ref.table)
+        if ref.alias and ref.alias != ref.table:
+            return f"{table} AS {self.quote(ref.alias)}"
+        return table
+
+    def render_item(self, item: SelectItem) -> str:
+        rendered = self.render_scalar(item.expr)
+        if item.alias:
+            return f"{rendered} AS {self.quote(item.alias)}"
+        return rendered
+
+    def render_select(self, select: Select) -> str:
+        parts = ["SELECT " + ", ".join(self.render_item(i)
+                                       for i in select.items)]
+        parts.append("FROM " + ", ".join(self.render_table_ref(t)
+                                         for t in select.from_tables))
+        if select.where is not None:
+            parts.append("WHERE " + self.render_condition(select.where))
+        return " ".join(parts)
+
+    def render_query(self, query: Query) -> str:
+        """One translated query as a single statement."""
+        body = " UNION ALL ".join(self.render_select(s)
+                                  for s in query.selects)
+        if query.order_by:
+            body += " ORDER BY " + ", ".join(str(p) for p in query.order_by)
+        return body
+
+    # -- DDL / DML -----------------------------------------------------
+    def create_table_sql(self, table: Table) -> str:
+        columns = []
+        for column in table.columns:
+            decl = f"{self.quote(column.name)} {self.type_name(column.sql_type)}"
+            if table.primary_key == column.name:
+                decl += " PRIMARY KEY"
+            columns.append(decl)
+        return (f"CREATE TABLE {self.quote(table.name)} "
+                f"({', '.join(columns)})")
+
+    def insert_sql(self, table: Table) -> str:
+        names = ", ".join(self.quote(c.name) for c in table.columns)
+        marks = ", ".join("?" for _ in table.columns)
+        return (f"INSERT INTO {self.quote(table.name)} ({names}) "
+                f"VALUES ({marks})")
+
+    def create_index_sql(self, index: Index) -> str:
+        # No INCLUDE clause: appending the included columns to the key
+        # preserves the covering property (at a modest key-width cost).
+        columns = ", ".join(self.quote(c) for c in index.all_columns)
+        return (f"CREATE INDEX {self.quote(index.name)} "
+                f"ON {self.quote(index.table_name)} ({columns})")
+
+    def create_view_table_sql(self, name: str,
+                              definition: JoinViewDefinition) -> str:
+        """A join view, materialized as a populated table."""
+        items = []
+        for view_col, (source_table, source_col) in definition.columns:
+            alias = "P" if source_table == definition.parent_table else "C"
+            items.append(f"{alias}.{self.quote(source_col)} "
+                         f"AS {self.quote(view_col)}")
+        return (
+            f"CREATE TABLE {self.quote(name)} AS "
+            f"SELECT {', '.join(items)} "
+            f"FROM {self.quote(definition.parent_table)} AS P, "
+            f"{self.quote(definition.child_table)} AS C "
+            f"WHERE C.{self.quote(definition.child_fk_column)} = P.\"ID\"")
+
+
+class SQLiteDialect(Dialect):
+    """SQLite spellings — see the module docstring for the rationale."""
+
+    name = "sqlite"
+
+    types = {
+        SQLType.INTEGER: "INTEGER",
+        SQLType.DECIMAL: "REAL",
+        SQLType.VARCHAR: "TEXT",
+        SQLType.DATE: "TEXT",      # engine stores dates as strings
+        SQLType.BOOLEAN: "INTEGER",  # engine compares/sorts them numerically
+    }
+
+    def storable(self, value: object) -> object:
+        # BOOLEAN columns have INTEGER affinity; store 0/1 so that
+        # comparisons against rendered 1/0 literals match.
+        if isinstance(value, bool):
+            return int(value)
+        return value
+
+
+class DuckDBDialect(Dialect):
+    """DuckDB spellings — DECIMAL and BOOLEAN stay first-class.
+
+    The deliberate divergences from :class:`SQLiteDialect`:
+
+    * DECIMAL columns are ``DECIMAL(18, 6)`` (exact for the generated
+      datasets' one fractional digit), not REAL.
+    * BOOLEAN columns are real booleans, and boolean *literals* render
+      as ``TRUE``/``FALSE`` — DuckDB will not implicitly compare a
+      BOOLEAN column against the bare integer ``1``.
+    * DATE stays VARCHAR: the engine stores date values as strings and
+      compares them lexicographically, which for ISO dates is the same
+      order DuckDB's DATE type would give, without parsing surprises.
+    """
+
+    name = "duckdb"
+
+    types = {
+        # SQLite's INTEGER affinity is 64-bit; DuckDB's INTEGER is
+        # 32-bit, so BIGINT is the semantic match (element IDs grow
+        # with document scale).
+        SQLType.INTEGER: "BIGINT",
+        SQLType.DECIMAL: "DECIMAL(18, 6)",
+        SQLType.VARCHAR: "VARCHAR",
+        SQLType.DATE: "VARCHAR",   # engine stores dates as strings
+        SQLType.BOOLEAN: "BOOLEAN",
+    }
+
+    def literal(self, literal: Literal) -> str:
+        if isinstance(literal.value, bool):
+            return "TRUE" if literal.value else "FALSE"
+        return str(literal)
+
+    def storable(self, value: object) -> object:
+        # bool binds natively to BOOLEAN columns; everything else the
+        # driver handles (floats are cast into DECIMAL(18, 6) exactly
+        # for the one-fractional-digit dataset values).
+        return value
+
+
+SQLITE = SQLiteDialect()
+DUCKDB = DuckDBDialect()
+
+_DIALECTS = {d.name: d for d in (SQLITE, DUCKDB)}
+
+
+def dialect_for(name: str) -> Dialect:
+    """The dialect registered under ``name`` (``sqlite`` / ``duckdb``)."""
+    try:
+        return _DIALECTS[name]
+    except KeyError:
+        known = ", ".join(sorted(_DIALECTS))
+        raise DialectError(
+            f"unknown SQL dialect {name!r} (known: {known})") from None
+
+
+# ----------------------------------------------------------------------
+# Backward-compatible module-level API (the SQLite dialect)
+# ----------------------------------------------------------------------
+
+SQLITE_TYPES = SQLiteDialect.types
+
+
 def quote_identifier(name: str) -> str:
-    return '"' + name.replace('"', '""') + '"'
-
-
-SQLITE_TYPES = {
-    SQLType.INTEGER: "INTEGER",
-    SQLType.DECIMAL: "REAL",
-    SQLType.VARCHAR: "TEXT",
-    SQLType.DATE: "TEXT",      # engine stores dates as strings
-    SQLType.BOOLEAN: "INTEGER",  # engine compares/sorts them numerically
-}
+    return SQLITE.quote(name)
 
 
 def sqlite_type(sql_type: SQLType) -> str:
-    return SQLITE_TYPES[sql_type]
-
-
-# ----------------------------------------------------------------------
-# Expressions
-# ----------------------------------------------------------------------
+    return SQLITE.type_name(sql_type)
 
 
 def render_scalar(expr: Scalar) -> str:
-    if isinstance(expr, Literal):
-        # Literal.__str__ already renders SQLite-compatible constants
-        # (doubled quotes, 1/0 booleans, repr'd finite floats, NULL).
-        return str(expr)
-    if isinstance(expr, ColumnRef):
-        column = quote_identifier(expr.column)
-        if expr.table:
-            return f"{quote_identifier(expr.table)}.{column}"
-        return column
-    raise DialectError(f"cannot render scalar {expr!r}")
+    return SQLITE.render_scalar(expr)
 
 
 def render_condition(expr: BoolExpr) -> str:
-    if isinstance(expr, Comparison):
-        return (f"{render_scalar(expr.left)} {expr.op.value} "
-                f"{render_scalar(expr.right)}")
-    if isinstance(expr, IsNull):
-        suffix = "IS NOT NULL" if expr.negated else "IS NULL"
-        return f"{render_scalar(expr.operand)} {suffix}"
-    if isinstance(expr, And):
-        return " AND ".join(f"({render_condition(i)})" for i in expr.items)
-    if isinstance(expr, Or):
-        return " OR ".join(f"({render_condition(i)})" for i in expr.items)
-    if isinstance(expr, Exists):
-        return f"EXISTS ({render_select(expr.subquery)})"
-    raise DialectError(f"cannot render condition {expr!r}")
-
-
-# ----------------------------------------------------------------------
-# Statements
-# ----------------------------------------------------------------------
-
-
-def _render_table_ref(ref: TableRef) -> str:
-    table = quote_identifier(ref.table)
-    if ref.alias and ref.alias != ref.table:
-        return f"{table} AS {quote_identifier(ref.alias)}"
-    return table
-
-
-def _render_item(item: SelectItem) -> str:
-    rendered = render_scalar(item.expr)
-    if item.alias:
-        return f"{rendered} AS {quote_identifier(item.alias)}"
-    return rendered
+    return SQLITE.render_condition(expr)
 
 
 def render_select(select: Select) -> str:
-    parts = ["SELECT " + ", ".join(_render_item(i) for i in select.items)]
-    parts.append(
-        "FROM " + ", ".join(_render_table_ref(t) for t in select.from_tables))
-    if select.where is not None:
-        parts.append("WHERE " + render_condition(select.where))
-    return " ".join(parts)
+    return SQLITE.render_select(select)
 
 
 def render_query(query: Query) -> str:
     """One translated query as a single SQLite statement."""
-    body = " UNION ALL ".join(render_select(s) for s in query.selects)
-    if query.order_by:
-        body += " ORDER BY " + ", ".join(str(p) for p in query.order_by)
-    return body
-
-
-# ----------------------------------------------------------------------
-# DDL / DML
-# ----------------------------------------------------------------------
+    return SQLITE.render_query(query)
 
 
 def create_table_sql(table: Table) -> str:
-    columns = []
-    for column in table.columns:
-        decl = f"{quote_identifier(column.name)} {sqlite_type(column.sql_type)}"
-        if table.primary_key == column.name:
-            decl += " PRIMARY KEY"
-        columns.append(decl)
-    return (f"CREATE TABLE {quote_identifier(table.name)} "
-            f"({', '.join(columns)})")
+    return SQLITE.create_table_sql(table)
 
 
 def insert_sql(table: Table) -> str:
-    names = ", ".join(quote_identifier(c.name) for c in table.columns)
-    marks = ", ".join("?" for _ in table.columns)
-    return (f"INSERT INTO {quote_identifier(table.name)} ({names}) "
-            f"VALUES ({marks})")
+    return SQLITE.insert_sql(table)
 
 
 def create_index_sql(index: Index) -> str:
-    # No INCLUDE in SQLite: appending the included columns to the key
-    # preserves the covering property (at a modest key-width cost).
-    columns = ", ".join(quote_identifier(c) for c in index.all_columns)
-    return (f"CREATE INDEX {quote_identifier(index.name)} "
-            f"ON {quote_identifier(index.table_name)} ({columns})")
+    return SQLITE.create_index_sql(index)
 
 
 def create_view_table_sql(name: str, definition: JoinViewDefinition) -> str:
-    """A join view, materialized as a populated table."""
-    items = []
-    for view_col, (source_table, source_col) in definition.columns:
-        alias = "P" if source_table == definition.parent_table else "C"
-        items.append(f"{alias}.{quote_identifier(source_col)} "
-                     f"AS {quote_identifier(view_col)}")
-    return (
-        f"CREATE TABLE {quote_identifier(name)} AS "
-        f"SELECT {', '.join(items)} "
-        f"FROM {quote_identifier(definition.parent_table)} AS P, "
-        f"{quote_identifier(definition.child_table)} AS C "
-        f"WHERE C.{quote_identifier(definition.child_fk_column)} = P.\"ID\"")
+    return SQLITE.create_view_table_sql(name, definition)

@@ -14,6 +14,7 @@ shortcut, translation bug, or executor semantics drift that changes
 
 from __future__ import annotations
 
+import decimal
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -29,6 +30,8 @@ def normalize_row(row: tuple) -> tuple:
     """Collapse representation differences that are not semantic.
 
     * booleans — the engine yields Python bools, SQLite yields 0/1;
+    * decimals — DuckDB returns ``DECIMAL`` columns as
+      :class:`decimal.Decimal`, the engine and SQLite carry floats;
     * integral floats — a REAL column round-trips ``3.0`` while the
       engine may carry the original int through an untyped slot.
     """
@@ -36,7 +39,10 @@ def normalize_row(row: tuple) -> tuple:
     for value in row:
         if isinstance(value, bool):
             out.append(int(value))
-        elif isinstance(value, float) and value.is_integer():
+            continue
+        if isinstance(value, decimal.Decimal):
+            value = float(value)
+        if isinstance(value, float) and value.is_integer():
             out.append(int(value))
         else:
             out.append(value)

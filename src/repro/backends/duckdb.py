@@ -1,0 +1,177 @@
+"""A columnar execution backend on `DuckDB <https://duckdb.org>`_.
+
+The shredded tables the paper's mappings produce are near-columnar
+already (narrow, typed, join-keyed), which makes a real column store
+the natural second executor for the backend matrix: the same logical
+and physical designs run against a genuinely different storage and
+execution model, and ``repro.backends.compare`` checks the two engines
+agree row-for-row (docs/backends.md, "Backend matrix").
+
+All shared machinery — streaming bulk load, the crash-safe load
+manifest, physical-design DDL, per-thread connections, exclusive
+timing — lives in :class:`~repro.backends.dbms.RelationalBackend`;
+this module supplies the DuckDB driver hooks:
+
+* **Optional dependency.** ``duckdb`` is not a hard requirement;
+  constructing a :class:`DuckDBBackend` without the module installed
+  raises a clear :class:`~repro.backends.dbms.BackendError`
+  (:func:`duckdb_available` lets tests and the CLI skip gracefully).
+* **Per-thread connections.** A ``DuckDBPyConnection`` must not be
+  shared across threads; worker threads get ``connection.cursor()``
+  clones, which share the parent's database (including in-memory
+  ones) — the same one-connection-per-thread discipline as the
+  SQLite backend, with a driver-native mechanism.
+* **Explicit transactions.** DuckDB autocommits each statement, so
+  the bulk-load path brackets its sized transactions with an explicit
+  ``BEGIN`` (idempotent via a primary-connection flag);
+  ``commit()`` outside a transaction is a no-op.
+* **Busy classification.** Write-write conflicts and file locks map
+  to the retryable :class:`~repro.backends.dbms.BackendBusyError`.
+* **Fetched-value normalization.** DuckDB returns ``DECIMAL`` columns
+  as :class:`decimal.Decimal`; rows are normalized to floats so serve
+  results and the differential validator see the engine's value
+  domain. (BOOLEAN comes back as :class:`bool`, which the comparator's
+  row normalization already maps onto SQLite's 0/1.)
+
+The SQL comes from :data:`repro.backends.dialect.DUCKDB` — DECIMAL and
+BOOLEAN stay first-class, unlike the SQLite affinity squash; see the
+dialect module for the full divergence list.
+"""
+
+from __future__ import annotations
+
+import decimal
+
+from ..obs import NullTracer, Tracer
+from ..resilience import active_fault_plan
+from .dbms import (DEFAULT_LOAD_BATCH, DEFAULT_TXN_ROWS, MANIFEST_TABLE,
+                   BackendBusyError, BackendError, LoadManifest,
+                   RelationalBackend)
+from .dialect import DUCKDB
+
+try:  # pragma: no cover - exercised only where duckdb is installed
+    import duckdb as _duckdb
+except ImportError:  # pragma: no cover - the common dev environment
+    _duckdb = None
+
+__all__ = ["DuckDBBackend", "duckdb_available", "BackendError",
+           "BackendBusyError", "LoadManifest", "MANIFEST_TABLE",
+           "DEFAULT_LOAD_BATCH", "DEFAULT_TXN_ROWS"]
+
+
+def duckdb_available() -> bool:
+    """Whether the optional ``duckdb`` package is importable."""
+    return _duckdb is not None
+
+
+#: Substrings of driver messages that indicate transient contention.
+_BUSY_MARKERS = ("lock", "conflict", "busy")
+
+
+class DuckDBBackend(RelationalBackend):
+    """:class:`~repro.backends.base.SQLBackend` over DuckDB."""
+
+    name = "duckdb"
+    dialect = DUCKDB
+
+    def __init__(self, path: str = ":memory:",
+                 tracer: Tracer | NullTracer | None = None,
+                 read_only: bool = False):
+        if _duckdb is None:
+            raise BackendError(
+                "the duckdb backend needs the optional 'duckdb' package "
+                "(pip install duckdb); it is not installed")
+        # Resolved here, not at class scope, so importing this module
+        # (and subclass discovery) works without duckdb installed.
+        self._driver_error = (_duckdb.Error,)
+        self._in_txn = False
+        super().__init__(path=path, tracer=tracer, read_only=read_only)
+
+    # ------------------------------------------------------------------
+    # Driver hooks
+    # ------------------------------------------------------------------
+    def _open_primary(self):
+        active_fault_plan().maybe_raise("backend.connect")
+        try:
+            if self.path == ":memory:":
+                # read_only is meaningless for a private in-memory
+                # database, and duckdb rejects the combination.
+                return _duckdb.connect(":memory:")
+            return _duckdb.connect(self.path, read_only=self.read_only)
+        except self._driver_error as exc:
+            raise BackendError(
+                f"cannot open {self.path!r}: {exc}") from exc
+
+    def _open_worker(self):
+        active_fault_plan().maybe_raise("backend.connect")
+        try:
+            # cursor() clones the connection against the same database
+            # (in-memory included) — the documented multi-thread
+            # pattern; each clone is used only by its opening thread.
+            return self.connection.cursor()
+        except self._driver_error as exc:
+            raise BackendError(
+                f"cannot open a worker connection: {exc}") from exc
+
+    def _begin_write(self) -> None:
+        # DuckDB autocommits per statement; the load loop calls this
+        # once per batch, so make it idempotent. Writes happen only on
+        # the primary connection (single-threaded by contract), so a
+        # plain flag suffices.
+        if not self._in_txn:
+            self.connection.begin()
+            self._in_txn = True
+
+    def _commit_write(self) -> None:
+        if self._in_txn:
+            self._in_txn = False
+            self.connection.commit()
+
+    def _is_busy(self, exc: BaseException) -> bool:
+        message = str(exc).lower()
+        return any(marker in message for marker in _BUSY_MARKERS)
+
+    def _native_rows(self, rows: list[tuple]) -> list[tuple]:
+        # A NULL in the first row of a DECIMAL column would defeat a
+        # first-row-only sniff, so scan the whole result; the scan is
+        # allocation-free and only the (rare) hit pays for rebuilding.
+        if not any(isinstance(value, decimal.Decimal)
+                   for row in rows for value in row):
+            return rows
+        return [tuple(float(value) if isinstance(value, decimal.Decimal)
+                      else value for value in row)
+                for row in rows]
+
+    # ------------------------------------------------------------------
+    # Catalog introspection
+    # ------------------------------------------------------------------
+    def _table_on_disk(self, name: str) -> bool:
+        try:
+            row = self.connection.execute(
+                "SELECT 1 FROM information_schema.tables "
+                "WHERE table_name = ?", (name,)).fetchone()
+        except self._driver_error as exc:  # pragma: no cover - defensive
+            raise BackendError(
+                f"inspecting information_schema failed: {exc}") from exc
+        return row is not None
+
+    def table_names_on_disk(self) -> list[str]:
+        rows = self.connection.execute(
+            "SELECT table_name FROM information_schema.tables "
+            "WHERE table_schema = 'main' ORDER BY table_name").fetchall()
+        return [name for (name,) in rows]
+
+    def table_columns(self, name: str) -> list[tuple[str, str]]:
+        rows = self.connection.execute(
+            "SELECT column_name, data_type FROM "
+            "information_schema.columns WHERE table_name = ? "
+            "ORDER BY ordinal_position", (name,)).fetchall()
+        return [(column, str(declared).upper()) for column, declared in rows]
+
+    def index_names(self) -> list[str]:
+        # duckdb_indexes() lists explicitly created indexes;
+        # constraint-backed ones live in duckdb_constraints().
+        rows = self.connection.execute(
+            "SELECT index_name FROM duckdb_indexes() "
+            "ORDER BY index_name").fetchall()
+        return [name for (name,) in rows]

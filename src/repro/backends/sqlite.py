@@ -1,64 +1,31 @@
 """A real-DBMS execution backend on stdlib ``sqlite3``.
 
-Loads a mapped schema's shredded tables into one SQLite database
-(in-memory by default), applies a physical configuration (real
-``CREATE INDEX``; join views and partitions as populated tables), and
-executes translated queries with warmup/repetition wall-clock timing.
+All of the machinery — streaming bulk load, the crash-safe load
+manifest, physical-design DDL, per-thread connections, exclusive
+timing — lives in :class:`~repro.backends.dbms.RelationalBackend`;
+this module supplies the sqlite3 driver hooks:
 
-Data loading streams through :func:`repro.mapping.shred_typed_batches`
-— the same shred-and-coerce step the in-memory engine uses — in chunked
-``executemany`` calls inside sized transactions (WAL journaling on
-file-backed databases), so both backends see byte-identical rows, any
-result divergence is a semantics bug rather than a loading artifact,
-and peak load memory is bounded by the batch size, not the document
-(docs/scaling.md).
-
-Crash safety
-------------
-
-``load`` maintains a **load manifest** — a ``_repro_load_manifest``
-key/value table inside the target database holding the mapped schema's
-digest, the load mode, a per-table committed-row watermark, and a
-``complete`` marker. The manifest header commits *before* the first
-mapped table is created, and watermark updates join every data
-transaction, so after a crash (even ``SIGKILL``) the database always
-holds a consistent prefix of the load *and* a manifest describing it
-exactly. A fresh backend reopening the file detects the interrupted
-load via :meth:`load_manifest` and ``load()`` either **resumes** from
-the last committed batch (``resume=True`` — shredding is deterministic,
-so re-streaming and skipping the watermarked prefix reproduces the
-missing rows with identical IDs) or **rolls back** cleanly (default:
-drop the partial tables and reload from scratch) instead of dying on a
-raw "table already exists". ``scripts/load_kill_smoke.py`` proves this
-against a real ``SIGKILL`` in CI.
-
-Concurrency model
------------------
-
-``sqlite3`` connections are not thread-safe objects, and the naive
-"one connection created on the loading thread, used everywhere" design
-either throws ``check_same_thread`` errors or silently races when a
-thread pool executes queries concurrently. This backend therefore
-keeps **one connection per thread**:
-
-* the *primary* connection (created in ``__init__``) performs all
-  loading and DDL, which stays single-threaded by contract;
-* every other thread that executes a query lazily opens its own
-  connection to the same database the first time it asks for one;
-* in-memory databases use a uniquely named shared-cache URI
+* **Per-thread connections.** ``sqlite3`` connections are not
+  thread-safe objects, so every thread gets its own. In-memory
+  databases use a uniquely named shared-cache URI
   (``file:...?mode=memory&cache=shared``) so the per-thread
   connections all see the data the primary connection loaded;
-* file-backed databases can be reopened read-only
+  file-backed databases can be reopened read-only
   (``read_only=True`` opens every connection with ``mode=ro``), which
   is what a long-lived query service wants — serving connections
-  physically cannot write;
-* :meth:`close` closes every connection the backend ever opened.
+  physically cannot write.
+* **Journaling.** WAL on file-backed databases keeps bulk-load
+  transactions cheap and lets read-only serving connections coexist
+  with a writer; in-memory databases use MEMORY journaling.
+* **Busy classification.** ``SQLITE_BUSY``/``SQLITE_LOCKED`` map to
+  the retryable :class:`~repro.backends.dbms.BackendBusyError` — under
+  WAL a busy reader/writer collision is momentary.
+* **Statistics.** ``ANALYZE`` runs after configuration DDL so the
+  planner sees index cardinalities.
 
-``time_query`` is the *timed benchmark* path: it takes an exclusive
-per-backend lock so concurrent callers cannot interleave page-cache
-churn into each other's measured runs, and warmup + timed runs all
-execute on the calling thread's connection. ``execute`` is the *serve*
-path: it never takes that lock and runs concurrently.
+The SQL itself comes from :data:`repro.backends.dialect.SQLITE` — see
+that module for the affinity mapping (DECIMAL→REAL, BOOLEAN→INTEGER,
+DATE→TEXT) and docs/backends.md for how it diverges from DuckDB's.
 """
 
 from __future__ import annotations
@@ -66,82 +33,36 @@ from __future__ import annotations
 import itertools
 import os
 import sqlite3
-import threading
-from dataclasses import dataclass, field
 
-from ..engine import Database
-from ..errors import ReproError
-from ..mapping import MappedSchema, Shredder, shred_typed_batches
-from ..obs import NullTracer, Tracer, get_tracer
-from ..physdesign import Configuration
+from ..obs import NullTracer, Tracer
 from ..resilience import active_fault_plan
-from ..search import mapping_digest
-from ..sqlast import Query
-from .base import QueryTiming, timed_runs
-from .dialect import (create_index_sql, create_table_sql,
-                      create_view_table_sql, insert_sql, render_query)
+from .base import timed_runs
+from .dbms import (DEFAULT_LOAD_BATCH, DEFAULT_TXN_ROWS, MANIFEST_TABLE,
+                   BackendBusyError, BackendError, LoadManifest,
+                   RelationalBackend)
+from .dialect import SQLITE
 
-
-class BackendError(ReproError):
-    """A backend operation failed (DDL, load, or execution)."""
-
-
-class BackendBusyError(BackendError):
-    """The database was transiently locked (``SQLITE_BUSY``/``LOCKED``).
-
-    ``retryable`` marks it for the resilience classifier: the serving
-    layer's :class:`~repro.resilience.RetryPolicy` re-attempts these —
-    under WAL a busy reader/writer collision is momentary — instead of
-    failing the request.
-    """
-
-    retryable = True
-
-
-#: Key/value table ``load()`` maintains inside the target database.
-MANIFEST_TABLE = "_repro_load_manifest"
-
-
-@dataclass(frozen=True)
-class LoadManifest:
-    """What a (possibly interrupted) bulk load left in the database."""
-
-    schema_digest: str
-    mode: str                 # "fresh" or "append"
-    complete: bool
-    watermarks: dict[str, int] = field(default_factory=dict)
-
-
-def _storable(value):
-    # sqlite3 binds bools as 0/1 already; this keeps loaded bytes
-    # identical to what comparisons below assume.
-    if isinstance(value, bool):
-        return int(value)
-    return value
+__all__ = ["SQLiteBackend", "BackendError", "BackendBusyError",
+           "LoadManifest", "MANIFEST_TABLE",
+           "DEFAULT_LOAD_BATCH", "DEFAULT_TXN_ROWS"]
 
 
 #: Distinguishes the shared-cache URIs of concurrently live in-memory
 #: backends within one process (the pid covers forked workers).
 _MEMORY_SERIAL = itertools.count(1)
 
-#: Rows per executemany chunk during bulk load.
-DEFAULT_LOAD_BATCH = 10_000
 
-#: Rows per load transaction (several chunks are committed together so
-#: small batch sizes don't pay per-batch fsync/commit overhead).
-DEFAULT_TXN_ROWS = 50_000
-
-
-class SQLiteBackend:
+class SQLiteBackend(RelationalBackend):
     """:class:`~repro.backends.base.SQLBackend` over stdlib sqlite3."""
 
     name = "sqlite"
+    dialect = SQLITE
+    post_ddl = ("ANALYZE",)
+    _driver_error = (sqlite3.Error,)
 
     def __init__(self, path: str = ":memory:",
                  tracer: Tracer | NullTracer | None = None,
                  read_only: bool = False):
-        self.tracer = tracer if tracer is not None else get_tracer()
-        self._metrics = self.tracer.metrics("backend.sqlite")
         if path == ":memory:":
             # A plain ":memory:" connection is private to itself — a
             # second (per-thread) connection would see an empty
@@ -149,36 +70,14 @@ class SQLiteBackend:
             # connection of this backend the same in-memory database.
             self._uri = (f"file:repro-sqlite-{os.getpid()}-"
                          f"{next(_MEMORY_SERIAL)}?mode=memory&cache=shared")
-            self._worker_uri = self._uri
         else:
             base = f"file:{path}"
             self._uri = f"{base}?mode=ro" if read_only else base
-            self._worker_uri = self._uri
-        self.read_only = read_only
-        self._connections: list[sqlite3.Connection] = []
-        self._conn_lock = threading.Lock()
-        self._timing_lock = threading.Lock()
-        self._local = threading.local()
-        self._closed = False
-        # The primary connection: loading and DDL happen here, on the
-        # thread that constructed the backend. It also pins a named
-        # in-memory database alive for the per-thread connections.
-        self.connection = self._open(self._uri)
-        self._local.connection = self.connection
-        self.connection.execute("PRAGMA synchronous = OFF")
-        if path == ":memory:":
-            self.connection.execute("PRAGMA journal_mode = MEMORY")
-        elif not read_only:
-            # WAL keeps bulk-load transactions cheap on file-backed
-            # databases and lets read-only serving connections coexist
-            # with a writer. (Read-only opens cannot switch modes.)
-            self.connection.execute("PRAGMA journal_mode = WAL")
-        self._tables: list[str] = []
-        #: Rows loaded per table across all load calls.
-        self.row_counts: dict[str, int] = {}
+        self._worker_uri = self._uri
+        super().__init__(path=path, tracer=tracer, read_only=read_only)
 
     # ------------------------------------------------------------------
-    # Connections
+    # Driver hooks
     # ------------------------------------------------------------------
     def _open(self, uri: str) -> sqlite3.Connection:
         active_fault_plan().maybe_raise("backend.connect")
@@ -186,323 +85,40 @@ class SQLiteBackend:
             # check_same_thread=False so close() can close every
             # connection from one thread; each connection is otherwise
             # used only by the thread that opened it.
-            connection = sqlite3.connect(uri, uri=True,
-                                         check_same_thread=False)
+            return sqlite3.connect(uri, uri=True, check_same_thread=False)
         except sqlite3.Error as exc:
             raise BackendError(f"cannot open {uri!r}: {exc}") from exc
-        with self._conn_lock:
-            if self._closed:
-                connection.close()
-                raise BackendError("backend is closed")
-            self._connections.append(connection)
-        return connection
 
-    def _thread_connection(self) -> sqlite3.Connection:
-        """The calling thread's connection, opened on first use."""
-        connection = getattr(self._local, "connection", None)
-        if connection is None:
-            connection = self._open(self._worker_uri)
-            self._local.connection = connection
-            self._metrics.incr("worker_connections")
-        return connection
+    def _open_primary(self) -> sqlite3.Connection:
+        return self._open(self._uri)
 
-    @property
-    def open_connections(self) -> int:
-        with self._conn_lock:
-            return len(self._connections)
+    def _open_worker(self) -> sqlite3.Connection:
+        return self._open(self._worker_uri)
 
-    # ------------------------------------------------------------------
-    # Loading
-    # ------------------------------------------------------------------
-    def load(self, schema: MappedSchema, docs, *,
-             batch_size: int = DEFAULT_LOAD_BATCH,
-             txn_rows: int = DEFAULT_TXN_ROWS,
-             append: bool = False,
-             resume: bool = False) -> None:
-        """Shred the documents and bulk-load every mapped table.
+    def _configure_primary(self) -> None:
+        self.connection.execute("PRAGMA synchronous = OFF")
+        if self.path == ":memory:":
+            self.connection.execute("PRAGMA journal_mode = MEMORY")
+        elif not self.read_only:
+            # WAL keeps bulk-load transactions cheap on file-backed
+            # databases and lets read-only serving connections coexist
+            # with a writer. (Read-only opens cannot switch modes.)
+            self.connection.execute("PRAGMA journal_mode = WAL")
 
-        Rows stream through :func:`repro.mapping.shred_typed_batches`
-        in ``batch_size`` chunks fed to ``executemany``, with a commit
-        every ``txn_rows`` rows — so peak memory is bounded by the
-        batch size, never the document size. A second ``load()`` on the
-        same backend raises :class:`BackendError` unless
-        ``append=True``, which keeps the existing tables and appends
-        (the caller owns ID continuity — see the shredder's
-        ``continue_ids`` contract).
+    def _is_busy(self, exc: BaseException) -> bool:
+        if not isinstance(exc, sqlite3.OperationalError):
+            return False
+        message = str(exc).lower()
+        return "locked" in message or "busy" in message
 
-        Crash safety: the load maintains a manifest (see the module
-        docstring). If the database holds an **interrupted** fresh load
-        — the manifest exists but lacks its ``complete`` marker — the
-        default is a clean rollback (drop the partial tables, reload
-        everything); ``resume=True`` instead skips each table's
-        committed watermark and loads only the missing suffix, which
-        reproduces the exact rows a crash-free load would have stored
-        because shredding is deterministic. After a resumed load,
-        ``row_counts`` reports the table totals (committed prefix plus
-        the resumed suffix). An interrupted *append* load is refused
-        outright — appended rows cannot be told apart from base data.
-        """
-        if append and resume:
-            raise BackendError("append=True and resume=True are "
-                               "mutually exclusive")
-        with self.tracer.span("backend.load", backend=self.name) as span:
-            faults = active_fault_plan()
-            digest = mapping_digest(schema.mapping)
-            engine_tables = schema.to_engine_tables()
-            manifest = self.load_manifest()
-            resuming = False
-            skip: dict[str, int] = {}
-            if manifest is not None and not manifest.complete:
-                if manifest.mode != "fresh":
-                    raise BackendError(
-                        "a previous append-load was interrupted; appended "
-                        "rows cannot be distinguished from the base data "
-                        "— restore the database file or reload from "
-                        "scratch")
-                if resume:
-                    if manifest.schema_digest != digest:
-                        raise BackendError(
-                            "cannot resume the interrupted load: it used "
-                            "a different mapped schema")
-                    skip = dict(manifest.watermarks)
-                    resuming = True
-                    self._metrics.incr("load_resumes")
-                else:
-                    self._rollback_incomplete(manifest)
-            inserts: dict[str, str] = {}
-            stored: dict[str, int] = {}
-            if resuming:
-                for table in engine_tables:
-                    if self._table_on_disk(table.name):
-                        if table.name not in self._tables:
-                            self._tables.append(table.name)
-                    else:
-                        # The crash may have landed between the manifest
-                        # header and this table's CREATE.
-                        self._create_table(table)
-                    stored[table.name] = skip.get(table.name, 0)
-                    self.row_counts[table.name] = stored[table.name]
-                    inserts[table.name] = insert_sql(table)
-            else:
-                # Conflict check first — nothing is written unless the
-                # whole load is admissible.
-                for table in engine_tables:
-                    self._register_on_disk(table.name)
-                    if table.name in self._tables and not append:
-                        raise BackendError(
-                            f"table {table.name!r} already exists on this "
-                            f"backend; load() is one-shot per database — "
-                            f"pass append=True to append rows, or use a "
-                            f"fresh backend/database")
-                for table in engine_tables:
-                    stored[table.name] = (self._stored_rows(table.name)
-                                          if append else 0)
-                # Header before any CREATE: a crash at any later point
-                # leaves a manifest naming every table to roll back.
-                self._write_manifest_header(
-                    digest, engine_tables,
-                    mode="append" if append else "fresh", stored=stored)
-                for table in engine_tables:
-                    if table.name not in self._tables:
-                        self._create_table(table)
-                    self.row_counts.setdefault(table.name, 0)
-                    inserts[table.name] = insert_sql(table)
-            shredder = Shredder(schema)
-            if append:
-                # Continue element-ID numbering above everything already
-                # stored, so appended rows keep globally unique IDs (and
-                # valid PID references) even across backend instances.
-                shredder.reset_ids(self._max_stored_id(engine_tables) + 1)
-            loaded = pending = 0
-            remaining = dict(skip)
-            try:
-                for name, rows in shred_typed_batches(schema, docs,
-                                                      batch_size,
-                                                      continue_ids=append,
-                                                      shredder=shredder):
-                    faults.maybe_raise("backend.load.batch")
-                    if remaining.get(name):
-                        drop = min(remaining[name], len(rows))
-                        remaining[name] -= drop
-                        rows = rows[drop:]
-                        self._metrics.incr("rows_skipped_on_resume", drop)
-                        if not rows:
-                            continue
-                    self.connection.executemany(
-                        inserts[name],
-                        [tuple(_storable(v) for v in row) for row in rows])
-                    stored[name] += len(rows)
-                    self.row_counts[name] = (self.row_counts.get(name, 0)
-                                             + len(rows))
-                    loaded += len(rows)
-                    pending += len(rows)
-                    if pending >= txn_rows:
-                        # Watermarks ride in the same transaction as the
-                        # rows they count — atomically consistent at
-                        # every commit point.
-                        self._update_watermarks(stored)
-                        self.connection.commit()
-                        self._metrics.incr("load_commits")
-                        pending = 0
-                self._update_watermarks(stored)
-                self._mark_complete()
-                self.connection.commit()
-            except sqlite3.Error as exc:
-                raise BackendError(f"bulk load failed: {exc}") from exc
-            span.set("rows", loaded)
-            self._metrics.incr("rows_loaded", loaded)
-
-    def load_from_database(self, db: Database) -> None:
-        """Copy an already-loaded engine database's base tables."""
-        with self.tracer.span("backend.load", backend=self.name,
-                              source="engine") as span:
-            loaded = 0
-            for table in db.catalog.base_tables():
-                loaded += self._create_and_fill(table, table.rows or [])
-            self.connection.commit()
-            span.set("rows", loaded)
-            self._metrics.incr("rows_loaded", loaded)
-
-    def _max_stored_id(self, tables) -> int:
-        """Largest element ID currently stored in any mapped table."""
-        best = 0
-        for table in tables:
-            if not any(c.name == "ID" for c in table.columns):
-                continue
-            try:
-                row = self.connection.execute(
-                    f'SELECT MAX("ID") FROM "{table.name}"').fetchone()
-            except sqlite3.Error as exc:
-                raise BackendError(
-                    f"reading max ID of {table.name!r} failed: "
-                    f"{exc}") from exc
-            if row and row[0] is not None:
-                best = max(best, int(row[0]))
-        return best
+    def _timed_runs(self, run, repeat: int, warmup: int):
+        # Resolved through this module's namespace so tests can
+        # monkeypatch ``repro.backends.sqlite.timed_runs``.
+        return timed_runs(run, repeat=repeat, warmup=warmup)
 
     # ------------------------------------------------------------------
-    # Load manifest (crash safety — see the module docstring)
+    # Catalog introspection
     # ------------------------------------------------------------------
-    def load_manifest(self) -> LoadManifest | None:
-        """The manifest of the last bulk load, or ``None`` if no
-        ``load()`` ever ran against this database."""
-        if not self._table_on_disk(MANIFEST_TABLE):
-            return None
-        try:
-            rows = self.connection.execute(
-                f'SELECT "key", "value" FROM "{MANIFEST_TABLE}"').fetchall()
-        except sqlite3.Error as exc:
-            raise BackendError(
-                f"reading the load manifest failed: {exc}") from exc
-        entries = {key: value for key, value in rows}
-        watermarks = {key[len("rows:"):]: int(value)
-                      for key, value in entries.items()
-                      if key.startswith("rows:")}
-        return LoadManifest(
-            schema_digest=str(entries.get("schema", "")),
-            mode=str(entries.get("mode", "fresh")),
-            complete=str(entries.get("complete", "0")) == "1",
-            watermarks=watermarks)
-
-    def _write_manifest_header(self, digest: str, tables,
-                               mode: str, stored: dict[str, int]) -> None:
-        """Commit the manifest naming every table, *before* any CREATE."""
-        try:
-            self.connection.execute(
-                f'CREATE TABLE IF NOT EXISTS "{MANIFEST_TABLE}" '
-                f'("key" TEXT PRIMARY KEY, "value" TEXT NOT NULL)')
-            self.connection.execute(f'DELETE FROM "{MANIFEST_TABLE}"')
-            entries = [("schema", digest), ("mode", mode), ("complete", "0")]
-            entries += [(f"rows:{table.name}", str(stored[table.name]))
-                        for table in tables]
-            self.connection.executemany(
-                f'INSERT INTO "{MANIFEST_TABLE}" ("key", "value") '
-                f'VALUES (?, ?)', entries)
-            self.connection.commit()
-        except sqlite3.Error as exc:
-            raise BackendError(
-                f"writing the load manifest failed: {exc}") from exc
-
-    def _update_watermarks(self, stored: dict[str, int]) -> None:
-        """Stage watermark updates; the caller's commit makes them live
-        atomically with the rows they count."""
-        self.connection.executemany(
-            f'UPDATE "{MANIFEST_TABLE}" SET "value" = ? WHERE "key" = ?',
-            [(str(stored[name]), f"rows:{name}")
-             for name in sorted(stored)])
-
-    def _mark_complete(self) -> None:
-        self.connection.execute(
-            f'UPDATE "{MANIFEST_TABLE}" SET "value" = ? '
-            f'WHERE "key" = ?', ("1", "complete"))
-
-    def _rollback_incomplete(self, manifest: LoadManifest) -> None:
-        """Drop everything an interrupted fresh load left behind."""
-        try:
-            for name in sorted(manifest.watermarks):
-                self.connection.execute(f'DROP TABLE IF EXISTS "{name}"')
-            self.connection.execute(
-                f'DROP TABLE IF EXISTS "{MANIFEST_TABLE}"')
-            self.connection.commit()
-        except sqlite3.Error as exc:
-            raise BackendError(
-                f"rolling back the interrupted load failed: {exc}") from exc
-        for name in manifest.watermarks:
-            if name in self._tables:
-                self._tables.remove(name)
-            self.row_counts.pop(name, None)
-        self._metrics.incr("load_rollbacks")
-
-    def _stored_rows(self, name: str) -> int:
-        if not self._table_on_disk(name):
-            return 0
-        try:
-            row = self.connection.execute(
-                f'SELECT COUNT(*) FROM "{name}"').fetchone()
-        except sqlite3.Error as exc:
-            raise BackendError(
-                f"counting rows of {name!r} failed: {exc}") from exc
-        return int(row[0]) if row else 0
-
-    # ------------------------------------------------------------------
-    # Table DDL
-    # ------------------------------------------------------------------
-    def _register_on_disk(self, name: str) -> None:
-        """Adopt a table already present in the database file."""
-        if name not in self._tables and self._table_on_disk(name):
-            self._tables.append(name)
-            self.row_counts.setdefault(name, 0)
-
-    def _create_table(self, table) -> None:
-        try:
-            self.connection.execute(create_table_sql(table))
-        except sqlite3.Error as exc:
-            raise BackendError(
-                f"creating table {table.name!r} failed: {exc}") from exc
-        if table.name not in self._tables:
-            self._tables.append(table.name)
-        self.row_counts.setdefault(table.name, 0)
-        self._metrics.incr("tables_loaded")
-
-    def _ensure_table(self, table, append: bool = False) -> None:
-        """Create ``table``; an existing one is an error unless appending.
-
-        "Existing" covers both a previous ``load()`` on this backend
-        and a table already present in a file-backed database opened by
-        a fresh backend — either way the caller gets a clear
-        :class:`BackendError` instead of sqlite's raw "table already
-        exists", and ``append=True`` turns both into an append-load.
-        """
-        self._register_on_disk(table.name)
-        if table.name in self._tables:
-            if append:
-                return
-            raise BackendError(
-                f"table {table.name!r} already exists on this backend; "
-                f"load() is one-shot per database — pass append=True to "
-                f"append rows, or use a fresh backend/database")
-        self._create_table(table)
-
     def _table_on_disk(self, name: str) -> bool:
         try:
             row = self.connection.execute(
@@ -513,121 +129,22 @@ class SQLiteBackend:
                 f"inspecting sqlite_master failed: {exc}") from exc
         return row is not None
 
-    def _create_and_fill(self, table, rows: list[tuple]) -> int:
-        self._ensure_table(table)
-        try:
-            if rows:
-                self.connection.executemany(
-                    insert_sql(table),
-                    [tuple(_storable(v) for v in row) for row in rows])
-        except sqlite3.Error as exc:
-            raise BackendError(
-                f"loading table {table.name!r} failed: {exc}") from exc
-        self.row_counts[table.name] += len(rows)
-        return len(rows)
+    def table_names_on_disk(self) -> list[str]:
+        rows = self.connection.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table' "
+            "AND name NOT LIKE 'sqlite_%' ORDER BY name").fetchall()
+        return [name for (name,) in rows]
 
-    # ------------------------------------------------------------------
-    # Physical design
-    # ------------------------------------------------------------------
-    def apply_configuration(self, configuration: Configuration) -> None:
-        """CREATE INDEX / materialize join views, then ANALYZE."""
-        with self.tracer.span("backend.ddl", backend=self.name,
-                              indexes=len(configuration.indexes),
-                              views=len(configuration.views)):
-            try:
-                for view in configuration.views:
-                    self.connection.execute(
-                        create_view_table_sql(view.name, view.definition))
-                    self._metrics.incr("views_built")
-                for index in configuration.indexes:
-                    self.connection.execute(create_index_sql(index))
-                    self._metrics.incr("indexes_built")
-                self.connection.execute("ANALYZE")
-                self.connection.commit()
-            except sqlite3.Error as exc:
-                raise BackendError(
-                    f"applying configuration failed: {exc}") from exc
+    def table_columns(self, name: str) -> list[tuple[str, str]]:
+        quoted = self.dialect.quote(name)
+        rows = self.connection.execute(
+            f"PRAGMA table_info({quoted})").fetchall()
+        return [(row[1], str(row[2]).upper()) for row in rows]
 
-    # ------------------------------------------------------------------
-    # Execution (the serve path: concurrent, per-thread connections)
-    # ------------------------------------------------------------------
-    def sql_text(self, query: Query) -> str:
-        return render_query(query)
-
-    def execute(self, query: Query) -> list[tuple]:
-        return self.execute_sql(render_query(query))
-
-    def execute_sql(self, sql: str) -> list[tuple]:
-        active_fault_plan().maybe_raise("backend.execute")
-        connection = self._thread_connection()
-        with self.tracer.span("backend.query", backend=self.name):
-            try:
-                cursor = connection.execute(sql)
-                rows = cursor.fetchall()
-            except sqlite3.OperationalError as exc:
-                message = str(exc).lower()
-                if "locked" in message or "busy" in message:
-                    # SQLITE_BUSY/SQLITE_LOCKED: momentary under WAL /
-                    # shared cache — retryable, per the class contract.
-                    raise BackendBusyError(
-                        f"database busy: {exc}\nSQL: {sql}") from exc
-                raise BackendError(f"query failed: {exc}\nSQL: {sql}") from exc
-            except sqlite3.Error as exc:
-                raise BackendError(f"query failed: {exc}\nSQL: {sql}") from exc
-        self._metrics.incr("queries_executed")
-        return rows
-
-    def prepare(self, query: Query) -> None:
-        """Compile without running (dialect round-trip check)."""
-        sql = render_query(query)
-        try:
-            self._thread_connection().execute(f"EXPLAIN {sql}").fetchall()
-        except sqlite3.Error as exc:
-            raise BackendError(
-                f"query does not prepare: {exc}\nSQL: {sql}") from exc
-
-    # ------------------------------------------------------------------
-    # Timing (the benchmark path: exclusive while measuring)
-    # ------------------------------------------------------------------
-    def time_query(self, query: Query, repeat: int = 3,
-                   warmup: int = 1) -> QueryTiming:
-        """Warmup + repetition median timing, exclusive per backend.
-
-        The contract (pinned by tests): all warmup and timed runs
-        execute on the calling thread's connection, back to back, with
-        no other ``time_query`` interleaved — so the first measured run
-        never pays another worker's page-cache eviction. Concurrent
-        ``execute`` calls (the serve path) are *not* excluded; a timed
-        benchmark under live load is a different experiment and should
-        use a dedicated backend.
-        """
-        sql = render_query(query)
-        connection = self._thread_connection()
-        with self._timing_lock:
-            with self.tracer.span("backend.query", backend=self.name,
-                                  timed=True) as span:
-                timing = timed_runs(
-                    lambda: connection.execute(sql).fetchall(),
-                    repeat=repeat, warmup=warmup)
-                span.set("seconds", timing.seconds)
-                span.set("rows", timing.rows)
-        self._metrics.incr("queries_timed")
-        return timing
-
-    # ------------------------------------------------------------------
-    def close(self) -> None:
-        with self._conn_lock:
-            connections, self._connections = self._connections, []
-            self._closed = True
-        for connection in connections:
-            try:
-                connection.close()
-            except sqlite3.Error:  # pragma: no cover - defensive
-                pass
-
-    def __enter__(self) -> "SQLiteBackend":
-        return self
-
-    def __exit__(self, *exc) -> bool:
-        self.close()
-        return False
+    def index_names(self) -> list[str]:
+        # sqlite_autoindex_* entries back PRIMARY KEY / UNIQUE
+        # constraints, not user DDL.
+        rows = self.connection.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'index' "
+            "AND name NOT LIKE 'sqlite_%' ORDER BY name").fetchall()
+        return [name for (name,) in rows]

@@ -7,10 +7,13 @@ statically instead of only by the tests that happen to race them:
 
 * **CONC001** — module- or instance-level state written without a lock
   from a function reachable from a ``submit``/``Thread(target=...)``
-  site (via the module's intraprocedural call graph). Writes through
-  ``threading.local()`` slots are naturally exempt (the target is not
-  ``self.attr``), as are writes lexically inside a ``with <...lock>:``
-  block.
+  site (via the module's intraprocedural call graph). Covers both
+  attribute rebinding (``self.count = ...``) and container mutation
+  through an attribute (``self.counters[name] = ...`` — the exact
+  shape of the ``MetricRegistry.incr`` lost-increment bug). Writes
+  through ``threading.local()`` slots are naturally exempt (the target
+  is not ``self.attr``), as are writes lexically inside a
+  ``with <...lock>:`` block.
 * **CONC002** — a ``sqlite3.connect()`` result stored on ``self`` and
   then touched from a submit-reachable method: sqlite3 connections must
   not cross threads; use a per-thread connection
@@ -72,11 +75,25 @@ def _global_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
     return names
 
 
+def _shared_base(target: ast.expr, globals_here: set[str]) -> bool:
+    """Is this write target shared state (an instance attribute or a
+    module global), including a subscript store through one —
+    ``self.counters[name] = ...`` mutates shared state just as surely
+    as ``self.count = ...`` does."""
+    if isinstance(target, ast.Subscript):
+        return _shared_base(target.value, globals_here)
+    return (_is_self_attribute(target)
+            or (isinstance(target, ast.Name)
+                and target.id in globals_here))
+
+
 def _describe_target(target: ast.expr) -> str:
     if isinstance(target, ast.Attribute):
         return f"self.{target.attr}"
     if isinstance(target, ast.Name):
         return target.id
+    if isinstance(target, ast.Subscript):
+        return f"{_describe_target(target.value)}[...]"
     return ast.dump(target)
 
 
@@ -126,10 +143,8 @@ def check_concurrency(module: SourceModule,
         for node in graph._own_statements(unit):
             # CONC001 — unprotected shared-state writes
             for target in _write_targets(node):
-                shared = (_is_self_attribute(target)
-                          or (isinstance(target, ast.Name)
-                              and target.id in globals_here))
-                if shared and not _under_lock(module, node):
+                if _shared_base(target, globals_here) \
+                        and not _under_lock(module, node):
                     findings.add(
                         "CONC001",
                         f"{_describe_target(target)} written in "

@@ -9,6 +9,7 @@ Commands
 ``advise``     run the design search on a workload file
 ``experiment`` run one of the paper's experiments at a chosen scale
 ``calibrate``  rank-correlate cost estimates with measured SQLite times
+``compare``    cross-check two execution backends (schemas, rows, queries)
 ``serve``      long-lived query service (plan cache + worker pool)
 ``loadgen``    seeded closed/open-loop load harness against the service
 
@@ -528,6 +529,7 @@ def _make_service(args, schema, configuration, docs):
                         db_path=args.db,
                         load_batch_size=getattr(args, "load_batch", None),
                         deadline=getattr(args, "deadline", None),
+                        backend=getattr(args, "backend", "sqlite"),
                         **kwargs)
 
 
@@ -730,6 +732,41 @@ def cmd_calibrate(args, out=None) -> int:
     return 0
 
 
+def cmd_compare(args, out=None) -> int:
+    import json
+
+    out = out or sys.stdout
+    from .backends import compare_datasets, duckdb_available
+    from .backends.compare import DESIGNS, MISMATCH, REVIEW
+    needs_duckdb = "duckdb" in (args.backend_a, args.backend_b)
+    if needs_duckdb and not duckdb_available():
+        print("duckdb is not installed; skipping the backend comparison "
+              "(pip install duckdb to enable it)", file=out)
+        return 1 if args.strict else 0
+    designs = args.design or list(DESIGNS)
+    reports = []
+    failed = False
+    for design in designs:
+        report = compare_datasets(
+            args.dataset, design, args.backend_a, args.backend_b,
+            scale=args.scale, seed=args.seed,
+            workload_size=args.queries,
+            workload_seed=args.workload_seed,
+            include_timings=args.timings)
+        print(report.describe(), file=out)
+        reports.append(report.to_json())
+        if report.status == MISMATCH:
+            failed = True
+        elif report.status == REVIEW and args.strict:
+            failed = True
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(reports, handle, indent=2, sort_keys=True,
+                      default=str)
+        print(f"wrote {args.json}", file=out)
+    return 1 if failed else 0
+
+
 # ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
@@ -919,6 +956,44 @@ def build_parser() -> argparse.ArgumentParser:
                             "correlation reaches R (CI gate)")
     p_cal.set_defaults(func=cmd_calibrate)
 
+    p_cmp = sub.add_parser(
+        "compare",
+        help="cross-check two execution backends on one dataset: "
+             "schemas, row multisets, workload results, indexes")
+    p_cmp.add_argument("--dataset", choices=["dblp", "movie"],
+                       default="dblp",
+                       help="bundled synthetic dataset (default: dblp)")
+    p_cmp.add_argument("--design", action="append",
+                       choices=["hybrid", "shared", "fully-split",
+                                "greedy"],
+                       default=None, metavar="DESIGN",
+                       help="mapping preset or 'greedy' (repeatable; "
+                            "default: all of them)")
+    p_cmp.add_argument("--backend-a", default="sqlite",
+                       choices=["engine", "sqlite", "duckdb"],
+                       help="reference backend (default: sqlite)")
+    p_cmp.add_argument("--backend-b", default="duckdb",
+                       choices=["engine", "sqlite", "duckdb"],
+                       help="candidate backend (default: duckdb)")
+    p_cmp.add_argument("--scale", type=int, default=60,
+                       help="dataset scale in records (default: 60)")
+    p_cmp.add_argument("--seed", type=int, default=7,
+                       help="dataset generator seed (default: 7)")
+    p_cmp.add_argument("--queries", type=int, default=6,
+                       help="generated workload size (default: 6)")
+    p_cmp.add_argument("--workload-seed", type=int, default=3,
+                       help="workload generator seed (default: 3)")
+    p_cmp.add_argument("--timings", action="store_true",
+                       help="also measure per-query wall-clock on both "
+                            "backends (advisory REVIEW check; makes the "
+                            "report nondeterministic)")
+    p_cmp.add_argument("--strict", action="store_true",
+                       help="fail on REVIEW too, and on a missing "
+                            "optional backend")
+    p_cmp.add_argument("--json", metavar="FILE", default=None,
+                       help="write all reports to FILE as JSON")
+    p_cmp.set_defaults(func=cmd_compare)
+
     def serve_shared(p: argparse.ArgumentParser) -> None:
         source = p.add_argument_group("data source")
         source.add_argument("--dataset", choices=["dblp", "movie"],
@@ -954,8 +1029,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="service worker threads (default: 4)")
         svc.add_argument("--plan-cache", type=int, default=128,
                          help="plan cache capacity (default: 128)")
+        svc.add_argument("--backend", choices=["sqlite", "duckdb"],
+                         default="sqlite",
+                         help="execution backend to serve from "
+                              "(duckdb needs the optional package; "
+                              "default: sqlite)")
         svc.add_argument("--db", default=None, metavar="FILE",
-                         help="serve from this SQLite file (workers "
+                         help="serve from this database file (workers "
                               "reopen it read-only; default: shared "
                               "in-memory database)")
         svc.add_argument("--load-batch", type=int, default=None,

@@ -45,7 +45,7 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-from ..backends import SQLiteBackend
+from ..backends import RelationalBackend, backend_factory
 from ..errors import ReproError
 from ..mapping import MappedSchema
 from ..obs import (LatencyHistogram, NullMetricRegistry, NullTracer,
@@ -165,9 +165,14 @@ class QueryService:
                  deadline: float | None = None,
                  retry_policy: RetryPolicy | None = None,
                  breaker: CircuitBreaker | None = None,
+                 backend: str = "sqlite",
                  tracer: Tracer | NullTracer | None = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if backend == "engine":
+            raise ValueError(
+                "the query service serves from a real DBMS backend "
+                "(sqlite or duckdb), not the in-memory engine")
         if max_queue is not None and max_queue < 0:
             raise ValueError("max_queue must be >= 0 (None = unbounded)")
         if deadline is not None and deadline <= 0:
@@ -203,35 +208,39 @@ class QueryService:
         self._inflight = 0
         self._admission_lock = threading.Lock()
 
-        with self.tracer.span("serve.startup", workers=workers):
+        self.backend_name = backend
+        make_backend = backend_factory(backend)
+        with self.tracer.span("serve.startup", workers=workers,
+                              backend=backend):
             # If startup dies mid-load on a file database *we* created,
             # remove it — otherwise a retry of the same command hits
             # "table already exists" on the partial file. A
             # pre-existing file is never deleted.
             created = db_path is not None and not os.path.exists(db_path)
-            loader: SQLiteBackend | None = None
+            loader: RelationalBackend | None = None
             try:
-                loader = SQLiteBackend(db_path or ":memory:",
-                                       tracer=self.tracer)
+                loader = make_backend(db_path or ":memory:",
+                                      tracer=self.tracer)
                 load_kwargs = ({"batch_size": load_batch_size}
                                if load_batch_size else {})
                 loader.load(schema, docs, **load_kwargs)
                 loader.apply_configuration(self.configuration)
                 if db_path is None:
-                    self.backend: SQLiteBackend = loader
+                    self.backend: RelationalBackend = loader
                 else:
                     # Load and build DDL through a writable connection,
                     # then serve through read-only worker connections
                     # on the same file.
                     loader.close()
-                    self.backend = SQLiteBackend(db_path,
-                                                 tracer=self.tracer,
-                                                 read_only=True)
+                    self.backend = make_backend(db_path,
+                                                tracer=self.tracer,
+                                                read_only=True)
             except BaseException:
                 if loader is not None:
                     loader.close()
                 if created and db_path is not None:
-                    for suffix in ("", "-wal", "-shm"):
+                    # Side files: SQLite's -wal/-shm, DuckDB's .wal.
+                    for suffix in ("", "-wal", "-shm", ".wal"):
                         try:
                             os.remove(db_path + suffix)
                         except OSError:

@@ -109,6 +109,32 @@ class TestConcurrency:
         assert codes(found) == ["CONC001"]
         assert "self.counter" in found.items[0].message
 
+    def test_subscript_write_through_self_attribute_flagged(self, tmp_path):
+        # The MetricRegistry.incr bug shape: a dict read-modify-write
+        # through a self attribute is shared-state mutation even though
+        # the assignment target is a Subscript, not the attribute.
+        module = lint_module(tmp_path, """
+            class Registry:
+                def incr(self, name):
+                    self.counters[name] = self.counters.get(name, 0) + 1
+                def run(self, pool):
+                    pool.submit(self.incr, "requests")
+        """)
+        found = check_concurrency(module)
+        assert codes(found) == ["CONC001"]
+        assert "self.counters[...]" in found.items[0].message
+
+    def test_locked_subscript_write_clean(self, tmp_path):
+        module = lint_module(tmp_path, """
+            class Registry:
+                def incr(self, name):
+                    with self._lock:
+                        self.counters[name] = self.counters.get(name, 0) + 1
+                def run(self, pool):
+                    pool.submit(self.incr, "requests")
+        """)
+        assert codes(check_concurrency(module)) == []
+
     def test_locked_write_and_cold_path_clean(self, tmp_path):
         module = lint_module(tmp_path, """
             class Service:
@@ -194,16 +220,18 @@ class TestLockOrder:
     def test_sqlite_backend_ordering_known_safe(self):
         # time_query finishes its _thread_connection() call *before*
         # taking _timing_lock, so the graph must not order the timing
-        # lock above the connection lock (and must stay acyclic).
-        module = load_module(REPRO_ROOT / "backends" / "sqlite.py",
+        # lock above the connection lock (and must stay acyclic).  The
+        # locking now lives in the shared RelationalBackend base class
+        # (backends/dbms.py) that SQLite and DuckDB both inherit.
+        module = load_module(REPRO_ROOT / "backends" / "dbms.py",
                              REPRO_ROOT)
         call_graph = ModuleCallGraph(module)
         acquired = set().union(*call_graph.acquires.values())
-        assert {"SQLiteBackend._timing_lock",
-                "SQLiteBackend._conn_lock"} <= acquired
+        assert {"RelationalBackend._timing_lock",
+                "RelationalBackend._conn_lock"} <= acquired
         order = build_lock_order([module])
-        assert "SQLiteBackend._conn_lock" not in \
-            order.edges.get("SQLiteBackend._timing_lock", set())
+        assert "RelationalBackend._conn_lock" not in \
+            order.edges.get("RelationalBackend._timing_lock", set())
         assert order.cycles() == []
 
     def test_cross_module_inversion_detected(self, tmp_path):

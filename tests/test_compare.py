@@ -1,0 +1,277 @@
+"""Comparator tests: mismatch injection, determinism, and the
+DuckDB-gated backend-matrix checks.
+
+Each injection plants exactly one class of divergence into one of two
+otherwise-identical SQLite backends and asserts the comparator
+surfaces it as MISMATCH with the offending table/query named. The
+DuckDB tests skip cleanly when the optional driver is absent — CI's
+``backend-matrix`` job installs it and runs them for real.
+"""
+
+import pytest
+
+from repro.backends import (DUCKDB, BackendError, DuckDBBackend,
+                            EngineBackend, SQLBackend, SQLiteBackend,
+                            compare_backends, compare_datasets,
+                            duckdb_available, validate_design)
+from repro.backends.compare import (DESIGNS, MISMATCH, OK, PRESETS,
+                                    backend_factory, compare_loaded,
+                                    known_backends)
+from repro.datasets import dblp_schema, generate_dblp
+from repro.engine import SQLType
+from repro.mapping import collect_statistics, derive_schema, hybrid_inlining
+from repro.physdesign import Configuration
+from repro.sqlast import ColumnRef, Query, Select, SelectItem, TableRef
+from repro.translate import Translator
+from repro.workload import WorkloadGenerator
+
+SCALE = 30
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def dblp_small():
+    tree = dblp_schema()
+    docs = generate_dblp(SCALE, seed=SEED)
+    schema = derive_schema(hybrid_inlining(tree))
+    stats = collect_statistics(tree, docs)
+    workload = WorkloadGenerator(tree, stats, seed=3).generate(4)
+    translator = Translator(schema)
+    queries = [translator.translate(w.query) for w in workload.queries]
+    return schema, docs, queries
+
+
+def _fresh_pair(dblp_small):
+    """Two independent SQLite backends loaded identically."""
+    schema, docs, queries = dblp_small
+    a, b = SQLiteBackend(), SQLiteBackend()
+    a.load(schema, docs)
+    b.load(schema, docs)
+    a.apply_configuration(Configuration())
+    b.apply_configuration(Configuration())
+    return schema, a, b, queries
+
+
+def _check(report, name):
+    return next(c for c in report.checks if c.name == name)
+
+
+def _probe_table(backend):
+    """(table, first column) of some non-empty table — deterministic
+    because table names are sorted."""
+    for name in backend.table_names_on_disk():
+        if name.startswith("_"):
+            continue
+        if backend.table_rows(name):
+            return name, backend.table_columns(name)[0][0]
+    raise AssertionError("no populated table to inject into")
+
+
+class TestMismatchInjection:
+    def test_dropped_row_names_table(self, dblp_small):
+        schema, a, b, queries = _fresh_pair(dblp_small)
+        try:
+            table, _ = _probe_table(b)
+            quoted = b.dialect.quote(table)
+            b.execute_sql(f"DELETE FROM {quoted} WHERE rowid IN "
+                          f"(SELECT rowid FROM {quoted} LIMIT 1)")
+            report = compare_loaded(a, b, queries, schema=schema)
+            rows = _check(report, "rows")
+            assert report.status == MISMATCH
+            assert rows.status == MISMATCH
+            assert table in rows.detail
+            assert rows.data["samples"][table]["missing"]
+        finally:
+            a.close()
+            b.close()
+
+    def test_type_drift_names_table_and_column(self, dblp_small):
+        schema, a, b, queries = _fresh_pair(dblp_small)
+        try:
+            table, _ = _probe_table(b)
+            columns = b.table_columns(table)
+            drifted = columns[0][0]
+            quoted = b.dialect.quote(table)
+            # Rebuild the table with the first column's declared type
+            # drifted to BLOB (affinity NONE, so the stored values stay
+            # byte-identical — only the declaration diverges).
+            decls = ", ".join(
+                f'{b.dialect.quote(col)} '
+                f'{"BLOB" if col == drifted else typ}'
+                for col, typ in columns)
+            b.execute_sql(f'ALTER TABLE {quoted} RENAME TO "_drift_old"')
+            b.execute_sql(f"CREATE TABLE {quoted} ({decls})")
+            b.execute_sql(f'INSERT INTO {quoted} '
+                          f'SELECT * FROM "_drift_old"')
+            b.execute_sql('DROP TABLE "_drift_old"')
+            report = compare_loaded(a, b, queries, schema=schema)
+            check = _check(report, "schema.columns")
+            assert report.status == MISMATCH
+            assert check.status == MISMATCH
+            assert table in check.detail and drifted in check.detail
+        finally:
+            a.close()
+            b.close()
+
+    def test_extra_index_names_index(self, dblp_small):
+        schema, a, b, queries = _fresh_pair(dblp_small)
+        try:
+            table, column = _probe_table(b)
+            b.execute_sql(
+                f'CREATE INDEX "extra_probe_idx" ON '
+                f'{b.dialect.quote(table)}({b.dialect.quote(column)})')
+            report = compare_loaded(a, b, queries, schema=schema)
+            check = _check(report, "indexes")
+            assert report.status == MISMATCH
+            assert check.status == MISMATCH
+            assert "extra_probe_idx" in check.detail
+            assert "extra_probe_idx" in check.data["only_b"]
+        finally:
+            a.close()
+            b.close()
+
+    def test_wrong_query_result_names_query(self, dblp_small):
+        schema, a, b, _ = _fresh_pair(dblp_small)
+        try:
+            table, column = _probe_table(b)
+            probe = Query(selects=(Select(
+                items=(SelectItem(ColumnRef("T", column)),),
+                from_tables=(TableRef(table=table, alias="T"),)),))
+            assert b.execute(probe), "probe query must return rows"
+            # The probe column is the INTEGER PRIMARY KEY, so shift it
+            # instead of stringifying (a text value is rejected).
+            b.execute_sql(
+                f"UPDATE {b.dialect.quote(table)} "
+                f"SET {b.dialect.quote(column)} = "
+                f"{b.dialect.quote(column)} + 1000000")
+            report = compare_loaded(a, b, [probe], schema=schema)
+            check = _check(report, "queries")
+            assert check.status == MISMATCH
+            assert "query #0" in check.detail
+            assert check.data["queries"][0]["sql"]
+        finally:
+            a.close()
+            b.close()
+
+    def test_identical_backends_ok_deterministically_twice(self,
+                                                           dblp_small):
+        schema, a, b, queries = _fresh_pair(dblp_small)
+        try:
+            first = compare_loaded(a, b, queries, schema=schema,
+                                   context={"dataset": "dblp"})
+            second = compare_loaded(a, b, queries, schema=schema,
+                                    context={"dataset": "dblp"})
+            assert first.status == OK and first.ok
+            assert first.describe() == second.describe()
+            assert first.to_json_text() == second.to_json_text()
+            assert {c.name for c in first.checks} == {
+                "schema.tables", "schema.columns", "rows", "indexes",
+                "queries"}
+        finally:
+            a.close()
+            b.close()
+
+    def test_engine_vs_sqlite_ok(self, dblp_small):
+        schema, docs, queries = dblp_small
+        engine = EngineBackend()
+        engine.load(schema, docs)
+        engine.apply_configuration(Configuration())
+        with SQLiteBackend() as sqlite_backend:
+            sqlite_backend.load(schema, docs)
+            sqlite_backend.apply_configuration(Configuration())
+            report = compare_loaded(engine, sqlite_backend, queries,
+                                    schema=schema)
+        assert report.status == OK, report.describe()
+
+
+class TestRegistry:
+    def test_known_backends(self):
+        assert known_backends() == ("engine", "sqlite", "duckdb")
+
+    def test_factories_resolve(self):
+        for name in known_backends():
+            assert callable(backend_factory(name))
+        with pytest.raises(ValueError):
+            backend_factory("oracle")
+
+    def test_designs_cover_presets_plus_greedy(self):
+        assert set(DESIGNS) == set(PRESETS) | {"greedy"}
+
+
+class TestCompareDatasets:
+    def test_engine_vs_sqlite_hybrid_ok(self):
+        report = compare_datasets("dblp", "hybrid", "engine", "sqlite",
+                                  scale=SCALE, workload_size=4)
+        assert report.status == OK, report.describe()
+        assert report.context["dataset"] == "dblp"
+        assert report.context["design"] == "hybrid"
+
+    def test_unknown_dataset_and_design_raise(self):
+        with pytest.raises(ValueError):
+            compare_datasets("web", "hybrid", "engine", "sqlite")
+        with pytest.raises(ValueError):
+            compare_datasets("dblp", "zigzag", "engine", "sqlite",
+                            scale=SCALE)
+
+
+class TestDuckDBDialect:
+    """Renderer divergences documented in docs/backends.md — these run
+    without the driver installed."""
+
+    def test_decimal_stays_decimal(self):
+        assert DUCKDB.type_name(SQLType.DECIMAL) == "DECIMAL(18, 6)"
+
+    def test_boolean_stays_boolean(self):
+        assert DUCKDB.type_name(SQLType.BOOLEAN) == "BOOLEAN"
+
+    def test_integer_widens_to_bigint(self):
+        assert DUCKDB.type_name(SQLType.INTEGER) == "BIGINT"
+
+    def test_boolean_literals_render_as_keywords(self):
+        from repro.sqlast import Literal
+        assert DUCKDB.literal(Literal(True)) == "TRUE"
+        assert DUCKDB.literal(Literal(False)) == "FALSE"
+        assert DUCKDB.literal(Literal(None)) == "NULL"
+
+
+@pytest.mark.skipif(duckdb_available(), reason="duckdb installed")
+class TestDuckDBMissing:
+    def test_constructor_raises_clear_backend_error(self):
+        with pytest.raises(BackendError, match="duckdb"):
+            DuckDBBackend()
+
+
+@pytest.mark.skipif(not duckdb_available(), reason="duckdb not installed")
+class TestDuckDBBackend:
+    """The backend-matrix gate proper: only runs with duckdb installed
+    (the CI ``backend-matrix`` job)."""
+
+    def test_protocol_conformance(self):
+        with DuckDBBackend() as backend:
+            assert isinstance(backend, SQLBackend)
+            assert backend.name == "duckdb"
+
+    def test_differential_validator_vs_engine(self, dblp_small):
+        schema, docs, queries = dblp_small
+        engine = EngineBackend()
+        engine.load(schema, docs)
+        with DuckDBBackend() as duck:
+            duck.load(schema, docs)
+            engine.apply_configuration(Configuration())
+            duck.apply_configuration(Configuration())
+            report = compare_backends(engine, duck, queries)
+        assert report.ok, report.describe()
+
+    @pytest.mark.parametrize("design", sorted(PRESETS))
+    def test_sqlite_vs_duckdb_presets_ok(self, design):
+        report = compare_datasets("dblp", design, "sqlite", "duckdb",
+                                  scale=SCALE, workload_size=4)
+        assert report.status == OK, report.describe()
+
+    def test_validate_design_accepts_duckdb_rows(self, dblp_small):
+        # The folded-in differential validator path: engine vs sqlite
+        # stays the oracle, but duckdb rows normalize identically
+        # (Decimal -> float, BOOLEAN -> int).
+        schema, docs, queries = dblp_small
+        report = validate_design(schema, Configuration(), docs, queries)
+        assert report.ok, report.describe()

@@ -243,3 +243,126 @@ class TestSearchTraceAgreesWithCounters:
             GreedySearch(tree, workload, stats, tracer=tracer).run()
             renders.append(render_tree(tracer, include_times=False))
         assert renders[0] == renders[1]
+
+
+# ----------------------------------------------------------------------
+# Concurrency: registry counters and histogram snapshots under load
+# ----------------------------------------------------------------------
+
+
+class TestMetricRegistryConcurrency:
+    """Regression tests for the serve-pool metrics races.
+
+    ``MetricRegistry.incr`` used to be an unlocked dict
+    read-modify-write; hammered from worker threads (exactly how the
+    query service calls it) increments were lost. The tiny switch
+    interval forces thread preemption inside the read-modify-write
+    window, so the old code fails this test in well under a second.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _fast_preemption(self):
+        import sys
+        previous = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)
+        yield
+        sys.setswitchinterval(previous)
+
+    def test_incr_hammer_loses_no_increments(self):
+        import threading
+        registry = MetricRegistry("hammer")
+        threads_n, per_thread = 8, 5000
+
+        def worker() -> None:
+            for _ in range(per_thread):
+                registry.incr("requests")
+                registry.incr("bytes", 3)
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.get("requests") == threads_n * per_thread
+        assert registry.get("bytes") == threads_n * per_thread * 3
+
+    def test_incr_survives_a_forced_preemption_window(self):
+        """The deterministic form of the hammer: a scheduling point is
+        injected *inside* the read-modify-write window (``dict.get``
+        yields the GIL before the store). The unlocked ``incr`` loses
+        ~90% of the increments here; the locked one loses none."""
+        import threading
+        import time
+
+        class YieldingDict(dict):
+            def get(self, *args):
+                value = super().get(*args)
+                time.sleep(0)  # explicit preemption point mid-RMW
+                return value
+
+        registry = MetricRegistry("hammer")
+        registry.counters = YieldingDict()
+        threads_n, per_thread = 8, 300
+
+        def worker() -> None:
+            for _ in range(per_thread):
+                registry.incr("requests")
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.get("requests") == threads_n * per_thread
+
+    def test_histogram_get_or_create_is_single(self):
+        import threading
+        registry = MetricRegistry("hammer")
+        seen = []
+        barrier = threading.Barrier(4)
+
+        def worker() -> None:
+            barrier.wait()
+            seen.append(registry.histogram("lat"))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len({id(h) for h in seen}) == 1
+
+    def test_snapshot_is_internally_consistent_under_load(self):
+        """`snapshot` must be computed from ONE locked copy of the
+        state. All observations are exactly 0.25 s (a binary-exact
+        value), so any consistent snapshot has ``mean == 0.25``; the
+        old field-by-field reads tore (``total`` bumped before
+        ``count``) and produced impossible means."""
+        import threading
+        from repro.obs import LatencyHistogram
+        histogram = LatencyHistogram("t")
+        stop = threading.Event()
+
+        def worker() -> None:
+            while not stop.is_set():
+                histogram.observe(0.25)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(3000):
+                snapshot = histogram.snapshot()
+                if snapshot["count"]:
+                    assert snapshot["mean"] == 0.25, snapshot
+                    assert snapshot["p99"] <= snapshot["max"]
+                mean = histogram.mean
+                assert mean in (0.0, 0.25)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert histogram.count == sum(
+            c for _, c in histogram.nonzero_buckets())
